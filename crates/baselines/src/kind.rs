@@ -1,0 +1,189 @@
+//! Schedule taxonomy and per-schedule pipeline-degree selection.
+
+use scheduler::{find_optimal_pipeline_degree, MoePerfModel};
+use serde::{Deserialize, Serialize};
+
+use crate::lower::simulate_layer;
+
+/// The six schedules compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// DeepSpeed-MoE: fully sequential MoE layer (Fig. 3a's default).
+    DsMoe,
+    /// Tutel with its PipeMoE-optimised pipelining.
+    Tutel,
+    /// Tutel + Gradient-AllReduce overlapped with non-MoE parts.
+    TutelImproved,
+    /// PipeMoE + Lina's fixed-chunk gradient schedule.
+    PipeMoeLina,
+    /// FasterMoE: the fixed two-way input split of He et al. (PPoPP'22)
+    /// — pipeline degree pinned to 2, gradients at the end (§7).
+    FasterMoe,
+    /// FSMoE without inter/intra-node communication overlap.
+    FsMoeNoIio,
+    /// The full FSMoE schedule.
+    FsMoe,
+}
+
+impl ScheduleKind {
+    /// The six schedules of the paper's headline comparisons,
+    /// baseline-first. `FasterMoe` appears only in the ablation study
+    /// (the paper's figures likewise omit it).
+    pub const ALL: [ScheduleKind; 6] = [
+        ScheduleKind::DsMoe,
+        ScheduleKind::Tutel,
+        ScheduleKind::TutelImproved,
+        ScheduleKind::PipeMoeLina,
+        ScheduleKind::FsMoeNoIio,
+        ScheduleKind::FsMoe,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleKind::DsMoe => "DS-MoE",
+            ScheduleKind::Tutel => "Tutel",
+            ScheduleKind::TutelImproved => "Tutel-Improved",
+            ScheduleKind::PipeMoeLina => "PipeMoE+Lina",
+            ScheduleKind::FasterMoe => "FasterMoE",
+            ScheduleKind::FsMoeNoIio => "FSMoE-No-IIO",
+            ScheduleKind::FsMoe => "FSMoE",
+        }
+    }
+
+    /// Whether intra-node collectives get their own stream (the
+    /// inter/intra overlap of §4) — FSMoE only.
+    pub fn separate_intra_stream(self) -> bool {
+        matches!(self, ScheduleKind::FsMoe)
+    }
+
+    /// Whether the schedule overlaps Gradient-AllReduce pieces inside
+    /// MoE layers (vs. only with dense parts, or not at all).
+    pub fn overlaps_gar_in_moe(self) -> bool {
+        matches!(
+            self,
+            ScheduleKind::PipeMoeLina | ScheduleKind::FsMoeNoIio | ScheduleKind::FsMoe
+        )
+    }
+
+    /// Whether the schedule overlaps Gradient-AllReduce with the dense
+    /// (non-MoE) backward parts.
+    pub fn overlaps_gar_with_dense(self) -> bool {
+        !matches!(
+            self,
+            ScheduleKind::DsMoe | ScheduleKind::Tutel | ScheduleKind::FasterMoe
+        )
+    }
+
+    /// Selects this schedule's pipeline degree for one MoE layer.
+    ///
+    /// * DS-MoE runs sequentially (`r = 1`).
+    /// * The Tutel family runs PipeMoE's optimiser, which we realise as
+    ///   an exact scan of its *own* lowering's simulated makespan with no
+    ///   Gradient-AllReduce term (PipeMoE ignores it).
+    /// * FSMoE-No-IIO keeps FSMoE's gradient-aware degree selection but
+    ///   evaluates candidates against its own single-comm-stream
+    ///   lowering (the §4.2 closed forms assume separate intra/inter
+    ///   streams, which No-IIO deliberately lacks).
+    /// * FSMoE runs Algorithm 1 with the layer's `t_gar`.
+    pub fn pipeline_degree(self, m: &MoePerfModel) -> u32 {
+        match self {
+            ScheduleKind::DsMoe => 1,
+            ScheduleKind::FasterMoe => 2,
+            ScheduleKind::Tutel | ScheduleKind::TutelImproved | ScheduleKind::PipeMoeLina => {
+                let m0 = m.with_t_gar(0.0);
+                (1..=16u32)
+                    .min_by(|&a, &b| {
+                        simulate_layer(self, &m0, a, &[])
+                            .partial_cmp(&simulate_layer(self, &m0, b, &[]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("non-empty range")
+            }
+            ScheduleKind::FsMoeNoIio => {
+                let gar: Vec<f64> = if m.t_gar > 0.0 { vec![m.t_gar] } else { vec![] };
+                (1..=16u32)
+                    .min_by(|&a, &b| {
+                        simulate_layer(self, m, a, &gar)
+                            .partial_cmp(&simulate_layer(self, m, b, &gar))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("non-empty range")
+            }
+            ScheduleKind::FsMoe => find_optimal_pipeline_degree(m).r,
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scheduler::Phase;
+    use simnet::Testbed;
+
+    fn model(n_a2a: f64, n_exp: f64, t_gar: f64) -> MoePerfModel {
+        MoePerfModel::new(
+            &Testbed::b().costs,
+            n_a2a,
+            n_a2a,
+            n_a2a,
+            n_exp,
+            2,
+            Phase::Backward,
+            t_gar,
+        )
+    }
+
+    #[test]
+    fn ds_moe_never_pipelines() {
+        assert_eq!(ScheduleKind::DsMoe.pipeline_degree(&model(1e7, 1e11, 0.0)), 1);
+    }
+
+    #[test]
+    fn tutel_pipelines_balanced_configs() {
+        let r = ScheduleKind::Tutel.pipeline_degree(&model(8.0e6, 4.0e10, 0.0));
+        assert!(r > 1, "r = {r}");
+    }
+
+    #[test]
+    fn faster_moe_is_pinned_to_two_chunks() {
+        for cfg in [model(1e5, 1e12, 0.0), model(5e7, 1e6, 0.0)] {
+            assert_eq!(ScheduleKind::FasterMoe.pipeline_degree(&cfg), 2);
+        }
+        assert!(!ScheduleKind::FasterMoe.overlaps_gar_in_moe());
+        assert!(!ScheduleKind::FasterMoe.overlaps_gar_with_dense());
+        assert_eq!(ScheduleKind::FasterMoe.name(), "FasterMoE");
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(!ScheduleKind::Tutel.separate_intra_stream());
+        assert!(ScheduleKind::FsMoe.separate_intra_stream());
+        assert!(!ScheduleKind::TutelImproved.overlaps_gar_in_moe());
+        assert!(ScheduleKind::PipeMoeLina.overlaps_gar_in_moe());
+        assert!(!ScheduleKind::DsMoe.overlaps_gar_with_dense());
+        assert!(ScheduleKind::TutelImproved.overlaps_gar_with_dense());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = ScheduleKind::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "DS-MoE",
+                "Tutel",
+                "Tutel-Improved",
+                "PipeMoE+Lina",
+                "FSMoE-No-IIO",
+                "FSMoE"
+            ]
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Lowering each schedule to the common task-graph IR.
+
+use scheduler::{lower_fsmoe_schedule, LoweredSchedule, MoePerfModel, StreamSet};
+use simnet::{Engine, TaskGraph};
+
+use crate::ScheduleKind;
+
+/// Lowers one MoE layer under `kind`'s schedule.
+///
+/// * **FSMoE** uses the three-stream lowering of the `scheduler` crate:
+///   AlltoAll on the inter-node link, AllGather/ReduceScatter on the
+///   intra-node link, experts on the compute stream — all three overlap.
+/// * **Every baseline** uses PipeMoE's two-resource model, which is how
+///   Tutel actually schedules ESP runs (and what the paper's Fig. 3b/3c
+///   contrast targets): the chunk's AllGather → expert → ReduceScatter
+///   sequence is one fused "computation" block overlapped only against
+///   the AlltoAlls. The intra-node collectives therefore serialise with
+///   the expert computation — the exact inter/intra overlap FSMoE adds
+///   is absent.
+/// * `gar_times` are Gradient-AllReduce pieces this layer must issue on
+///   the inter-node link, behind the dispatches (placement across layers
+///   is the caller's policy).
+///
+/// # Panics
+///
+/// Panics when `r == 0`.
+pub fn lower_moe_layer(
+    kind: ScheduleKind,
+    graph: &mut TaskGraph,
+    streams: &StreamSet,
+    m: &MoePerfModel,
+    r: u32,
+    gar_times: &[f64],
+    deps: &[simnet::TaskId],
+    label: &str,
+) -> LoweredSchedule {
+    if kind.separate_intra_stream() {
+        return lower_fsmoe_schedule(graph, streams, m, r, gar_times, deps, label);
+    }
+    assert!(r >= 1, "pipeline degree must be at least 1");
+    let (mut t_a2a, t_ag, t_rs, t_exp) = (m.t_a2a(r), m.t_ag(r), m.t_rs(r), m.t_exp(r));
+    if kind == ScheduleKind::DsMoe {
+        // DeepSpeed-MoE always routes through its 2DH hierarchical
+        // AlltoAll; on the node-aligned topology its intra-node phase
+        // re-moves the full buffer and serialises on the same blocking
+        // queue, so each AlltoAll also pays an intra-node pass.
+        t_a2a += m.ag.time_chunked(m.n_a2a, r);
+    }
+    let block = t_ag + t_exp + t_rs;
+    let n = r as usize;
+
+    let mut dispatches = Vec::with_capacity(n);
+    let mut experts = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = graph.add_task(format!("{label}.D{i}"), streams.inter, t_a2a, deps);
+        // fused AG+expert+RS block on the compute stream
+        let e = graph.add_task(format!("{label}.B{i}"), streams.compute, block, &[d]);
+        dispatches.push(d);
+        experts.push(e);
+    }
+    let gar: Vec<simnet::TaskId> = gar_times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| graph.add_task(format!("{label}.GAR{i}"), streams.inter, t, deps))
+        .collect();
+    let combines: Vec<simnet::TaskId> = (0..n)
+        .map(|i| graph.add_task(format!("{label}.C{i}"), streams.inter, t_a2a, &[experts[i]]))
+        .collect();
+
+    // GAR pieces stay out of `outputs` (stream contention only — no
+    // data dependency; see the scheduler crate's lowering).
+    let outputs = vec![*combines.last().expect("r >= 1")];
+    LoweredSchedule {
+        dispatches,
+        experts,
+        combines,
+        gar,
+        outputs,
+    }
+}
+
+/// Simulated makespan of one isolated MoE layer under `kind`.
+pub fn simulate_layer(kind: ScheduleKind, m: &MoePerfModel, r: u32, gar_times: &[f64]) -> f64 {
+    let mut graph = TaskGraph::new();
+    let streams = StreamSet::add_to(&mut graph);
+    let _ = lower_moe_layer(kind, &mut graph, &streams, m, r, gar_times, &[], "moe");
+    Engine::new()
+        .simulate(&graph)
+        .expect("builder-constructed graphs always simulate")
+        .makespan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scheduler::Phase;
+    use simnet::Testbed;
+
+    fn model(n_a2a: f64, n_exp: f64, t_gar: f64) -> MoePerfModel {
+        MoePerfModel::new(
+            &Testbed::b().costs,
+            n_a2a,
+            n_a2a,
+            n_a2a,
+            n_exp,
+            2,
+            Phase::Backward,
+            t_gar,
+        )
+    }
+
+    #[test]
+    fn ds_moe_is_fully_sequential_plus_2dh_phase() {
+        let m = model(4.0e6, 2.0e9, 0.0);
+        let t = simulate_layer(ScheduleKind::DsMoe, &m, 1, &[]);
+        // sequential time plus the 2DH intra-node pass on each of the
+        // two AlltoAlls
+        let expect = m.sequential_time() + 2.0 * m.ag.time_chunked(m.n_a2a, 1);
+        assert!((t - expect).abs() < 1e-9, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn tutel_beats_ds_moe_on_balanced_configs() {
+        let m = model(8.0e6, 4.0e10, 0.0);
+        let r = ScheduleKind::Tutel.pipeline_degree(&m);
+        let tutel = simulate_layer(ScheduleKind::Tutel, &m, r, &[]);
+        let ds = simulate_layer(ScheduleKind::DsMoe, &m, 1, &[]);
+        assert!(tutel < ds, "tutel {tutel} vs ds {ds}");
+    }
+
+    #[test]
+    fn tutel_matches_pipemoe_closed_form_when_compute_bound() {
+        // compute-bound: t = 2·t_a2a + r·(t_ag + t_exp + t_rs)
+        let m = model(1.0e5, 1.0e11, 0.0);
+        for r in [2u32, 4] {
+            let t = simulate_layer(ScheduleKind::Tutel, &m, r, &[]);
+            let formula =
+                2.0 * m.t_a2a(r) + f64::from(r) * (m.t_ag(r) + m.t_exp(r) + m.t_rs(r));
+            assert!((t - formula).abs() / formula < 0.01, "r={r}: {t} vs {formula}");
+        }
+    }
+
+    #[test]
+    fn fsmoe_never_loses_to_no_iio_at_layer_level() {
+        for (n_a2a, n_exp, gar) in [
+            (2.0e6, 1.0e9, 0.0),
+            (8.0e6, 4.0e10, 0.0),
+            (8.0e6, 4.0e10, 3.0),
+            (2.0e7, 2.0e9, 1.0),
+        ] {
+            let m = model(n_a2a, n_exp, gar);
+            let gar_vec: Vec<f64> = if gar > 0.0 { vec![gar] } else { vec![] };
+            let r_f = ScheduleKind::FsMoe.pipeline_degree(&m);
+            let r_n = ScheduleKind::FsMoeNoIio.pipeline_degree(&m);
+            let fsmoe = simulate_layer(ScheduleKind::FsMoe, &m, r_f, &gar_vec);
+            let noiio = simulate_layer(ScheduleKind::FsMoeNoIio, &m, r_n, &gar_vec);
+            // FSMoE picks r from the §4.2 closed forms while No-IIO
+            // scans its own simulated lowering, so FSMoE may trail by a
+            // few percent at case crossovers — never by much
+            assert!(
+                fsmoe <= noiio * 1.05 + 1e-9,
+                "fsmoe {fsmoe} vs no-iio {noiio} at ({n_a2a}, {n_exp}, {gar})"
+            );
+        }
+    }
+
+    #[test]
+    fn fsmoe_strictly_wins_when_intra_is_substantial() {
+        // pipelined intra comm hides inside the expert/a2a overlap under
+        // FSMoE but serialises with the experts under the baselines
+        let m = model(1.0e7, 1.0e10, 0.0);
+        let r = ScheduleKind::FsMoe.pipeline_degree(&m);
+        let fsmoe = simulate_layer(ScheduleKind::FsMoe, &m, r, &[]);
+        let noiio = simulate_layer(ScheduleKind::FsMoeNoIio, &m, r, &[]);
+        assert!(fsmoe < noiio * 0.999, "fsmoe {fsmoe} vs no-iio {noiio}");
+    }
+
+    #[test]
+    fn gar_pieces_extend_single_stream_makespan() {
+        let m = model(4.0e6, 2.0e9, 0.0);
+        let with = simulate_layer(ScheduleKind::Tutel, &m, 2, &[5.0]);
+        let without = simulate_layer(ScheduleKind::Tutel, &m, 2, &[]);
+        assert!(with > without);
+    }
+
+    #[test]
+    fn all_schedules_simulate_cleanly() {
+        let m = model(4.0e6, 2.0e9, 1.0);
+        for kind in ScheduleKind::ALL {
+            let r = kind.pipeline_degree(&m);
+            let t = simulate_layer(kind, &m, r, &[1.0]);
+            assert!(t.is_finite() && t > 0.0, "{kind}: {t}");
+        }
+    }
+}

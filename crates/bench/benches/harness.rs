@@ -1,0 +1,139 @@
+//! Criterion benchmarks for the hot paths the paper quantifies in §6.2:
+//! the pipeline-degree solver (paper: SLSQP averages 193 ms per config),
+//! the model fit (paper: <10 ms), the gradient partitioner, the
+//! discrete-event simulator, and the data-plane kernels.
+
+use baselines::ScheduleKind;
+use bench::table4_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use models::iteration::{build_iteration_graph, plan_iteration};
+use models::ModelPreset;
+use numopt::{DeConfig, LinearFit};
+use profiler::microbench::{comm_message_sizes, profile_op};
+use scheduler::{
+    find_optimal_pipeline_degree, partition_gradients, GeneralizedLayer, MoePerfModel, Phase,
+};
+use simnet::{Engine, Testbed};
+use std::hint::black_box;
+use tensor::{Tensor, TensorRng};
+
+fn bench_solver(c: &mut Criterion) {
+    // §6.2: the SLSQP solve averages 193 ms per configuration; our exact
+    // solver should be orders of magnitude faster
+    let tb = Testbed::a();
+    let specs: Vec<MoePerfModel> = table4_grid(&tb)
+        .iter()
+        .step_by(97)
+        .map(|cfg| {
+            let s = cfg.layer_spec(&tb).expect("valid").moe;
+            MoePerfModel::new(
+                &tb.costs,
+                s.n_a2a,
+                s.n_ag,
+                s.n_rs,
+                s.n_exp,
+                s.gemms,
+                Phase::Backward,
+                1.0,
+            )
+        })
+        .collect();
+    c.bench_function("find_optimal_pipeline_degree", |b| {
+        b.iter(|| {
+            for m in &specs {
+                black_box(find_optimal_pipeline_degree(black_box(m)));
+            }
+        })
+    });
+}
+
+fn bench_linear_fit(c: &mut Criterion) {
+    // §6.2: least-squares fitting takes <10 ms in the paper
+    let tb = Testbed::b();
+    let p = profile_op("AlltoAll", &tb.costs.a2a, &comm_message_sizes(), 0.01, 5, 3);
+    let xs: Vec<f64> = p.samples.iter().map(|s| s.0).collect();
+    let ys: Vec<f64> = p.samples.iter().map(|s| s.1).collect();
+    c.bench_function("linear_fit_24_points", |b| {
+        b.iter(|| black_box(LinearFit::fit(black_box(&xs), black_box(&ys)).unwrap()))
+    });
+}
+
+fn bench_gradient_partition(c: &mut Criterion) {
+    let tb = Testbed::b();
+    let base = MoePerfModel::new(
+        &tb.costs, 4.0e6, 4.0e6, 4.0e6, 2.0e10, 2, Phase::Backward, 0.0,
+    );
+    let layers: Vec<GeneralizedLayer> = (0..12)
+        .map(|_| GeneralizedLayer {
+            moe: base,
+            t_olp_dense: 2.0,
+            grad_bytes: 5.0e6,
+        })
+        .collect();
+    let de = DeConfig {
+        population: 12,
+        generations: 40,
+        seed: 1,
+        ..DeConfig::default()
+    };
+    c.bench_function("partition_gradients_12_layers", |b| {
+        b.iter(|| black_box(partition_gradients(black_box(&layers), tb.costs.all_reduce, de)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let tb = Testbed::b();
+    let preset = ModelPreset::gpt2_xl_moe().with_seq_len(256).with_layers(12);
+    let spec = preset.layer_spec(&tb).expect("valid");
+    let plan = plan_iteration(ScheduleKind::FsMoe, &tb.costs, &spec, 12);
+    let (graph, _) = build_iteration_graph(&plan);
+    c.bench_function("simulate_12_layer_iteration", |b| {
+        b.iter(|| black_box(Engine::new().simulate(black_box(&graph)).unwrap()))
+    });
+}
+
+fn bench_data_plane(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(0);
+    let a = rng.uniform(&[128, 128], -1.0, 1.0);
+    let bm = rng.uniform(&[128, 128], -1.0, 1.0);
+    c.bench_function("matmul_128", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&bm)).unwrap()))
+    });
+
+    let logits = rng.uniform(&[1024, 64], -1.0, 1.0);
+    c.bench_function("softmax_topk_1024x64", |b| {
+        b.iter(|| {
+            let masked = logits.keep_top_k(2).unwrap();
+            black_box(masked.softmax().unwrap())
+        })
+    });
+
+    let cfg = fsmoe::config::MoeConfig::builder()
+        .batch_size(1)
+        .seq_len(512)
+        .embed_dim(128)
+        .hidden_dim(256)
+        .num_experts(8)
+        .top_k(2)
+        .build()
+        .unwrap();
+    let mut layer = fsmoe::layer::MoeLayer::gshard(&cfg, &mut rng).unwrap();
+    let input = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
+    c.bench_function("moe_layer_forward_512tok", |b| {
+        b.iter(|| {
+            let mut r = TensorRng::seed_from(1);
+            black_box(layer.forward(black_box(&input), &mut r).unwrap())
+        })
+    });
+    let _ = Tensor::zeros(&[1]);
+}
+
+criterion_group!(
+    benches,
+    bench_solver,
+    bench_linear_fit,
+    bench_gradient_partition,
+    bench_simulator,
+    bench_data_plane
+);
+criterion_main!(benches);

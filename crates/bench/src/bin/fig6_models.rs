@@ -1,0 +1,61 @@
+//! Fig. 6: end-to-end speedups of the five schedules over DeepSpeed-MoE
+//! on the real-world models — GPT2-XL-MoE and Mixtral-7B on both
+//! testbeds, Mixtral-22B on Testbed A (B = 1, k = 2, f = 1.2; L = 1024
+//! on A, 256 on B; Mixtral-7B runs 7 layers on B and Mixtral-22B 33
+//! layers on A, per §6.4).
+//!
+//! Regenerate with `cargo run --release -p bench --bin fig6_models`.
+
+use baselines::ScheduleKind;
+use models::iteration::iteration_time;
+use models::ModelPreset;
+use simnet::{Testbed, TestbedKind};
+
+fn presets_for(kind: TestbedKind) -> Vec<ModelPreset> {
+    match kind {
+        TestbedKind::A => vec![
+            ModelPreset::gpt2_xl_moe().with_seq_len(1024).with_layers(12),
+            ModelPreset::mixtral_7b().with_seq_len(1024).with_layers(32),
+            ModelPreset::mixtral_22b().with_seq_len(1024).with_layers(33),
+        ],
+        TestbedKind::B => vec![
+            ModelPreset::gpt2_xl_moe().with_seq_len(256).with_layers(12),
+            ModelPreset::mixtral_7b().with_seq_len(256).with_layers(7),
+        ],
+    }
+}
+
+fn main() {
+    println!("# Fig. 6 — speedups over DS-MoE on real-world MoE models\n");
+    let schedules = [
+        ScheduleKind::Tutel,
+        ScheduleKind::TutelImproved,
+        ScheduleKind::PipeMoeLina,
+        ScheduleKind::FsMoeNoIio,
+        ScheduleKind::FsMoe,
+    ];
+    for testbed in [Testbed::a(), Testbed::b()] {
+        println!("## {}", testbed.kind);
+        print!("{:<14} {:>12}", "model", "DS-MoE(ms)");
+        for s in &schedules {
+            print!(" {:>14}", s.name());
+        }
+        println!();
+        for preset in presets_for(testbed.kind) {
+            let ds = iteration_time(ScheduleKind::DsMoe, &testbed, &preset)
+                .expect("presets are valid");
+            print!("{:<14} {:>12.1}", preset.name, ds);
+            for &s in &schedules {
+                let t = iteration_time(s, &testbed, &preset).expect("valid");
+                print!(" {:>13.2}x", ds / t);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!(
+        "paper shape check: FSMoE 1.28x-3.01x over DS-MoE (avg 1.19x over\n\
+         Tutel, 1.12x over Tutel-Improved, 1.14x over PipeMoE+Lina, 1.07x\n\
+         over FSMoE-No-IIO); Tutel reaches only 1.16x-2.59x."
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 8: speedups over DS-MoE on Testbed A with pipeline parallelism
+//! enabled (GPipe, N_PP = 2, 4 micro-batches).
+//!
+//! Regenerate with `cargo run --release -p bench --bin fig8_pp`.
+
+use baselines::ScheduleKind;
+use models::pipeline::gpipe_iteration_time;
+use models::ModelPreset;
+use simnet::Testbed;
+
+const SCHEDULES: [ScheduleKind; 5] = [
+    ScheduleKind::Tutel,
+    ScheduleKind::TutelImproved,
+    ScheduleKind::PipeMoeLina,
+    ScheduleKind::FsMoeNoIio,
+    ScheduleKind::FsMoe,
+];
+
+fn main() {
+    println!("# Fig. 8 — speedups over DS-MoE with GPipe (N_PP = 2) on Testbed A\n");
+    let testbed = Testbed::a();
+    let presets = [
+        ModelPreset::gpt2_xl_moe().with_seq_len(2048).with_layers(12),
+        ModelPreset::mixtral_7b().with_seq_len(2048).with_layers(8),
+        ModelPreset::mixtral_22b().with_seq_len(2048).with_layers(32),
+    ];
+    print!("{:<14} {:>12}", "model", "DS-MoE(ms)");
+    for s in &SCHEDULES {
+        print!(" {:>14}", s.name());
+    }
+    println!();
+    for preset in presets {
+        let ds = gpipe_iteration_time(ScheduleKind::DsMoe, &testbed, &preset, 2, 4)
+            .expect("presets are valid");
+        print!("{:<14} {:>12.1}", preset.name, ds);
+        for &s in &SCHEDULES {
+            let t = gpipe_iteration_time(s, &testbed, &preset, 2, 4).expect("valid");
+            print!(" {:>13.2}x", ds / t);
+        }
+        println!();
+    }
+    println!(
+        "\npaper shape check: FSMoE averages 2.46x over DS-MoE, 1.16x over\n\
+         Tutel, 1.10x over Tutel-Improved, 1.12x over PipeMoE+Lina and\n\
+         1.05x over FSMoE-No-IIO when PP is enabled."
+    );
+}

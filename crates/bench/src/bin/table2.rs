@@ -1,0 +1,43 @@
+//! Table 2: per-operation time breakdown of one transformer layer of
+//! GPT2-XL-MoE and Mixtral-7B on Testbeds A and B (B = 4, L = 1024).
+//!
+//! Regenerate with `cargo run --release -p bench --bin table2`.
+
+use models::breakdown::layer_breakdown;
+use models::ModelPreset;
+use scheduler::Phase;
+use simnet::Testbed;
+
+fn main() {
+    println!("# Table 2 — per-op breakdown (iteration time in ms, share of phase)\n");
+    for testbed in [Testbed::a(), Testbed::b()] {
+        for preset in [
+            ModelPreset::gpt2_xl_moe().with_batch_size(4),
+            ModelPreset::mixtral_7b().with_batch_size(4),
+        ] {
+            let spec = preset
+                .layer_spec(&testbed)
+                .expect("preset configs are valid");
+            let cfg = preset.moe_config(&testbed).expect("valid");
+            let routing_flops =
+                2.0 * cfg.tokens() as f64 * cfg.embed_dim as f64 * cfg.num_experts as f64;
+            for phase in [Phase::Forward, Phase::Backward] {
+                let b = layer_breakdown(&testbed.costs, &spec, routing_flops, phase);
+                let phase_name = match phase {
+                    Phase::Forward => "Forward",
+                    Phase::Backward => "Backward",
+                };
+                print!("{} {:>12}-{:<9}", testbed.kind, preset.name, phase_name);
+                for r in &b.rows {
+                    print!(" {}={:.1}({:.1}%)", r.op, r.time, 100.0 * r.share);
+                }
+                println!();
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper shape check: communication ops (AlltoAll+AllReduce+AllGather+\n\
+         ReduceScatter) should exceed 50% of each phase, routing <1%, order <2%."
+    );
+}

@@ -1,0 +1,75 @@
+//! Table 5: averaged speedups of Tutel-Improved, FSMoE-No-IIO and FSMoE
+//! over Tutel (with PipeMoE) across the 1458 configured layers of
+//! Table 4, on both testbeds. Also reports the §2.3 statistic: in how
+//! many configurations the optimal forward and backward pipeline degrees
+//! differ.
+//!
+//! Regenerate with `cargo run --release -p bench --bin table5`.
+
+use baselines::ScheduleKind;
+use bench::{configured_layer_time, fwd_bwd_degrees, geomean, table4_grid};
+use simnet::Testbed;
+
+fn main() {
+    println!("# Table 5 — averaged speedups over Tutel on the 1458-config grid\n");
+    println!(
+        "{:<16} {:>10} {:>10}",
+        "Schedule", "Testbed-A", "Testbed-B"
+    );
+
+    let schedules = [
+        ScheduleKind::Tutel,
+        ScheduleKind::TutelImproved,
+        ScheduleKind::FsMoeNoIio,
+        ScheduleKind::FsMoe,
+    ];
+    let mut table = vec![Vec::new(); schedules.len()];
+    let mut degree_stats = Vec::new();
+
+    for testbed in [Testbed::a(), Testbed::b()] {
+        let grid = table4_grid(&testbed);
+        let mut speedups = vec![Vec::with_capacity(grid.len()); schedules.len()];
+        let mut differing = 0usize;
+        for cfg in &grid {
+            let spec = cfg.layer_spec(&testbed).expect("grid configs are valid");
+            let tutel = configured_layer_time(ScheduleKind::Tutel, &testbed, &spec);
+            for (i, &kind) in schedules.iter().enumerate() {
+                let t = if kind == ScheduleKind::Tutel {
+                    tutel
+                } else {
+                    configured_layer_time(kind, &testbed, &spec)
+                };
+                speedups[i].push(tutel / t);
+            }
+            let (rf, rb) = fwd_bwd_degrees(&testbed, &spec.moe);
+            if rf != rb {
+                differing += 1;
+            }
+        }
+        for (i, s) in speedups.iter().enumerate() {
+            table[i].push(geomean(s));
+        }
+        degree_stats.push((testbed.kind, differing, grid.len()));
+    }
+
+    for (i, kind) in schedules.iter().enumerate() {
+        println!(
+            "{:<16} {:>9.2}x {:>9.2}x",
+            kind.name(),
+            table[i][0],
+            table[i][1]
+        );
+    }
+    println!();
+    for (kind, differing, total) in degree_stats {
+        println!(
+            "{kind}: {differing}/{total} configurations have different optimal \
+             forward/backward pipeline degrees (paper: 912/1458 on Testbed B)"
+        );
+    }
+    println!(
+        "\npaper shape check: Tutel 1.00x, Tutel-Improved ~1.08-1.09x,\n\
+         FSMoE-No-IIO ~1.12-1.16x, FSMoE ~1.18-1.22x; ordering must be\n\
+         monotone."
+    );
+}

@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for communicator and topology construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A group was requested over ranks outside the world.
+    RankOutOfRange {
+        /// Offending rank.
+        rank: usize,
+        /// World size.
+        world_size: usize,
+    },
+    /// A group rank list was empty or contained duplicates.
+    InvalidGroup {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The caller is not a member of the group it tried to use.
+    NotAMember {
+        /// Caller's global rank.
+        rank: usize,
+    },
+    /// Buffer length is incompatible with the collective.
+    BadBufferLength {
+        /// Name of the collective.
+        op: &'static str,
+        /// Provided length.
+        len: usize,
+        /// Group size it must relate to.
+        group_size: usize,
+    },
+    /// A parallelism configuration does not tile the cluster.
+    BadParallelism {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankOutOfRange { rank, world_size } => {
+                write!(f, "rank {rank} out of range for world of {world_size}")
+            }
+            CommError::InvalidGroup { reason } => write!(f, "invalid group: {reason}"),
+            CommError::NotAMember { rank } => {
+                write!(f, "rank {rank} is not a member of the group")
+            }
+            CommError::BadBufferLength {
+                op,
+                len,
+                group_size,
+            } => write!(
+                f,
+                "{op}: buffer length {len} incompatible with group size {group_size}"
+            ),
+            CommError::BadParallelism { reason } => {
+                write!(f, "bad parallelism configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CommError::RankOutOfRange {
+            rank: 9,
+            world_size: 4
+        }
+        .to_string()
+        .contains("9"));
+        assert!(CommError::BadBufferLength {
+            op: "all_to_all",
+            len: 7,
+            group_size: 4
+        }
+        .to_string()
+        .contains("all_to_all"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CommError>();
+    }
+}

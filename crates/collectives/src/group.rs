@@ -1,0 +1,309 @@
+//! Group communicators and the collective state machine.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{CommError, Result};
+
+/// Which collective the group is currently executing, used to detect SPMD
+/// violations (two ranks calling different collectives on one group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpTag {
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    AllToAll,
+    Broadcast,
+    Barrier,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Ranks are depositing inputs; `usize` counts arrivals.
+    Collecting(usize),
+    /// Outputs are ready; `usize` counts ranks that have taken theirs.
+    Distributing(usize),
+}
+
+#[derive(Debug)]
+struct OpState {
+    phase: Phase,
+    tag: Option<OpTag>,
+    inputs: Vec<Option<Vec<f32>>>,
+    outputs: Vec<Option<Vec<f32>>>,
+}
+
+/// Shared state for one communication group.
+#[derive(Debug)]
+pub(crate) struct GroupInner {
+    ranks: Vec<usize>,
+    state: Mutex<OpState>,
+    cond: Condvar,
+}
+
+impl GroupInner {
+    pub(crate) fn new(ranks: Vec<usize>) -> Self {
+        let n = ranks.len();
+        GroupInner {
+            ranks,
+            state: Mutex::new(OpState {
+                phase: Phase::Collecting(0),
+                tag: None,
+                inputs: vec![None; n],
+                outputs: vec![None; n],
+            }),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+/// A communicator bound to one rank's membership in one group.
+///
+/// All collectives block until every member of the group has joined the
+/// call, exactly like their NCCL counterparts. The semantics follow the
+/// MPI/NCCL definitions; see each method.
+#[derive(Debug, Clone)]
+pub struct GroupComm {
+    inner: Arc<GroupInner>,
+    /// This rank's index *within the group* (dense, 0-based).
+    index: usize,
+    /// This rank's global rank (for diagnostics).
+    global_rank: usize,
+}
+
+impl GroupComm {
+    pub(crate) fn new(inner: Arc<GroupInner>, global_rank: usize) -> Result<Self> {
+        let index = inner
+            .ranks
+            .iter()
+            .position(|&r| r == global_rank)
+            .ok_or(CommError::NotAMember { rank: global_rank })?;
+        Ok(GroupComm {
+            inner,
+            index,
+            global_rank,
+        })
+    }
+
+    /// Number of ranks in the group.
+    pub fn size(&self) -> usize {
+        self.inner.ranks.len()
+    }
+
+    /// This rank's dense index within the group.
+    pub fn group_index(&self) -> usize {
+        self.index
+    }
+
+    /// The global ranks composing the group, in group-index order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.inner.ranks
+    }
+
+    /// The core rendezvous: deposit `input`, wait for all members, let the
+    /// last arrival compute all outputs with `compute`, then take ours.
+    ///
+    /// # Panics
+    ///
+    /// Panics when members concurrently issue different collectives on the
+    /// same group (an SPMD violation that would otherwise deadlock).
+    fn run<F>(&self, tag: OpTag, input: Vec<f32>, compute: F) -> Vec<f32>
+    where
+        F: FnOnce(&[Vec<f32>]) -> Vec<Vec<f32>>,
+    {
+        let n = self.size();
+        let mut st = self.inner.state.lock();
+
+        // Wait out the drain of a previous collective.
+        while matches!(st.phase, Phase::Distributing(_)) {
+            self.inner.cond.wait(&mut st);
+        }
+
+        match st.tag {
+            None => st.tag = Some(tag),
+            Some(t) => assert_eq!(
+                t, tag,
+                "SPMD violation on group {:?}: rank {} called {:?} while {:?} in flight",
+                self.inner.ranks, self.global_rank, tag, t
+            ),
+        }
+
+        st.inputs[self.index] = Some(input);
+        let arrived = match &mut st.phase {
+            Phase::Collecting(c) => {
+                *c += 1;
+                *c
+            }
+            Phase::Distributing(_) => unreachable!("waited out distribution above"),
+        };
+
+        if arrived == n {
+            let inputs: Vec<Vec<f32>> = st
+                .inputs
+                .iter_mut()
+                .map(|s| s.take().expect("all inputs deposited"))
+                .collect();
+            let outputs = compute(&inputs);
+            assert_eq!(outputs.len(), n, "compute must yield one output per rank");
+            for (slot, out) in st.outputs.iter_mut().zip(outputs) {
+                *slot = Some(out);
+            }
+            st.phase = Phase::Distributing(0);
+            self.inner.cond.notify_all();
+        } else {
+            while matches!(st.phase, Phase::Collecting(_)) {
+                self.inner.cond.wait(&mut st);
+            }
+        }
+
+        let out = st.outputs[self.index]
+            .take()
+            .expect("output present in distribution phase");
+        if let Phase::Distributing(taken) = &mut st.phase {
+            *taken += 1;
+            if *taken == n {
+                st.phase = Phase::Collecting(0);
+                st.tag = None;
+                self.inner.cond.notify_all();
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum across the group; every rank ends with the total.
+    ///
+    /// Used for MP output combination and — crucially for the paper's §5 —
+    /// the Gradient-AllReduce of data-parallel training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if members pass buffers of different lengths.
+    pub fn all_reduce(&self, data: &mut [f32]) {
+        let out = self.run(OpTag::AllReduce, data.to_vec(), |inputs| {
+            let len = inputs[0].len();
+            for inp in inputs {
+                assert_eq!(inp.len(), len, "all_reduce buffers must match in length");
+            }
+            let mut sum = vec![0.0f32; len];
+            for inp in inputs {
+                for (s, v) in sum.iter_mut().zip(inp) {
+                    *s += v;
+                }
+            }
+            vec![sum; inputs.len()]
+        });
+        data.copy_from_slice(&out);
+    }
+
+    /// Concatenates every rank's buffer in group-index order; every rank
+    /// receives the concatenation.
+    ///
+    /// This is the paper's ESP-AllGather (§2.2): it replicates dispatched
+    /// tokens to all expert shards in the ESP group.
+    pub fn all_gather(&self, data: &[f32]) -> Vec<f32> {
+        self.run(OpTag::AllGather, data.to_vec(), |inputs| {
+            let cat: Vec<f32> = inputs.iter().flatten().copied().collect();
+            vec![cat; inputs.len()]
+        })
+    }
+
+    /// Sums all buffers element-wise, then scatters the sum: rank `i`
+    /// receives the `i`-th of `size` equal slices.
+    ///
+    /// This is the paper's ESP-ReduceScatter: it aggregates expert-shard
+    /// outputs and splits the result back to the dispatch layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::BadBufferLength`] when the buffer does not
+    /// divide evenly by the group size.
+    pub fn reduce_scatter(&self, data: &[f32]) -> Result<Vec<f32>> {
+        let n = self.size();
+        if data.len() % n != 0 {
+            return Err(CommError::BadBufferLength {
+                op: "reduce_scatter",
+                len: data.len(),
+                group_size: n,
+            });
+        }
+        Ok(self.run(OpTag::ReduceScatter, data.to_vec(), |inputs| {
+            let len = inputs[0].len();
+            let chunk = len / inputs.len();
+            let mut sum = vec![0.0f32; len];
+            for inp in inputs {
+                assert_eq!(inp.len(), len, "reduce_scatter buffers must match");
+                for (s, v) in sum.iter_mut().zip(inp) {
+                    *s += v;
+                }
+            }
+            (0..inputs.len())
+                .map(|i| sum[i * chunk..(i + 1) * chunk].to_vec())
+                .collect()
+        }))
+    }
+
+    /// Splits each rank's buffer into `size` equal chunks and transposes:
+    /// rank `i` receives chunk `i` from every rank, concatenated in group
+    /// order.
+    ///
+    /// This is AlltoAll Dispatch/Combine (§2.2), the operation expert
+    /// parallelism uses to move tokens to their experts and back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::BadBufferLength`] when the buffer does not
+    /// divide evenly by the group size.
+    pub fn all_to_all(&self, data: &[f32]) -> Result<Vec<f32>> {
+        let n = self.size();
+        if data.len() % n != 0 {
+            return Err(CommError::BadBufferLength {
+                op: "all_to_all",
+                len: data.len(),
+                group_size: n,
+            });
+        }
+        Ok(self.run(OpTag::AllToAll, data.to_vec(), |inputs| {
+            let len = inputs[0].len();
+            let chunk = len / inputs.len();
+            (0..inputs.len())
+                .map(|dst| {
+                    let mut out = Vec::with_capacity(len);
+                    for src in inputs {
+                        assert_eq!(src.len(), len, "all_to_all buffers must match");
+                        out.extend_from_slice(&src[dst * chunk..(dst + 1) * chunk]);
+                    }
+                    out
+                })
+                .collect()
+        }))
+    }
+
+    /// Copies `root`'s buffer (by group index) to every rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`] when `root` is not a valid
+    /// group index.
+    pub fn broadcast(&self, root: usize, data: &mut [f32]) -> Result<()> {
+        let n = self.size();
+        if root >= n {
+            return Err(CommError::RankOutOfRange {
+                rank: root,
+                world_size: n,
+            });
+        }
+        let out = self.run(OpTag::Broadcast, data.to_vec(), move |inputs| {
+            vec![inputs[root].clone(); inputs.len()]
+        });
+        data.copy_from_slice(&out);
+        Ok(())
+    }
+
+    /// Blocks until every member of the group has reached the barrier.
+    pub fn barrier(&self) {
+        let _ = self.run(OpTag::Barrier, Vec::new(), |inputs| {
+            vec![Vec::new(); inputs.len()]
+        });
+    }
+}

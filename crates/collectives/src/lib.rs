@@ -1,0 +1,85 @@
+//! A thread-backed collective-communication runtime.
+//!
+//! The paper runs on NCCL; this crate reproduces the *semantics* of the
+//! five collectives an MoE layer needs — AllReduce, AllGather,
+//! ReduceScatter, AlltoAll and Broadcast — over OS threads with real data
+//! movement, so the MoE data plane in `fsmoe` computes numerically correct
+//! results under any schedule. (Timing is the job of the `simnet` crate;
+//! here only correctness matters.)
+//!
+//! # Model
+//!
+//! A [`CommWorld`] owns `P` ranks. Each rank runs on its own thread and
+//! holds a [`Communicator`]. Ranks form [`GroupComm`]s over arbitrary rank
+//! subsets — the same subsets the paper's hybrid DP+MP+EP+ESP parallelism
+//! uses, which [`HybridTopology`] constructs (§2.2, Fig. 2).
+//!
+//! Collectives are SPMD: every member of a group must call the same
+//! operation in the same order. Mismatched calls are detected and panic
+//! with a diagnostic rather than deadlocking.
+//!
+//! # Example
+//!
+//! ```
+//! use collectives::CommWorld;
+//! use std::thread;
+//!
+//! let world = CommWorld::new(4);
+//! let handles: Vec<_> = world
+//!     .into_communicators()
+//!     .into_iter()
+//!     .map(|comm| {
+//!         thread::spawn(move || {
+//!             let group = comm.world_group();
+//!             let mut x = vec![comm.rank() as f32];
+//!             group.all_reduce(&mut x);
+//!             assert_eq!(x[0], 6.0); // 0+1+2+3
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! ```
+
+mod error;
+mod group;
+mod topology;
+mod world;
+
+pub use error::CommError;
+pub use group::GroupComm;
+pub use topology::{HybridTopology, ParallelDims};
+pub use world::{CommWorld, Communicator};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CommError>;
+
+/// Runs `f` once per rank on `size` threads, passing each its
+/// [`Communicator`], and returns the per-rank results in rank order.
+///
+/// This is the harness every multi-rank test and example uses.
+///
+/// # Panics
+///
+/// Propagates panics from rank threads.
+pub fn run_ranks<T, F>(size: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Communicator) -> T + Send + Sync + 'static,
+{
+    let world = CommWorld::new(size);
+    let f = std::sync::Arc::new(f);
+    let handles: Vec<_> = world
+        .into_communicators()
+        .into_iter()
+        .map(|comm| {
+            let f = std::sync::Arc::clone(&f);
+            std::thread::spawn(move || f(comm))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread panicked"))
+        .collect()
+}

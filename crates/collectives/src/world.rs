@@ -1,0 +1,179 @@
+//! World construction and sub-group registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::group::GroupInner;
+use crate::{CommError, GroupComm, Result};
+
+/// Shared registry mapping a rank set to its group state, so every rank
+/// that requests the same sub-group binds to the same rendezvous object.
+#[derive(Debug, Default)]
+struct GroupRegistry {
+    groups: Mutex<HashMap<Vec<usize>, Arc<GroupInner>>>,
+}
+
+impl GroupRegistry {
+    fn lookup(&self, ranks: &[usize]) -> Arc<GroupInner> {
+        let mut map = self.groups.lock();
+        Arc::clone(
+            map.entry(ranks.to_vec())
+                .or_insert_with(|| Arc::new(GroupInner::new(ranks.to_vec()))),
+        )
+    }
+}
+
+/// A world of `P` communicating ranks.
+///
+/// Construct one per simulated cluster, then hand each rank thread its
+/// [`Communicator`] via [`CommWorld::into_communicators`].
+#[derive(Debug)]
+pub struct CommWorld {
+    size: usize,
+    registry: Arc<GroupRegistry>,
+}
+
+impl CommWorld {
+    /// Creates a world with `size` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world size must be positive");
+        CommWorld {
+            size,
+            registry: Arc::new(GroupRegistry::default()),
+        }
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Consumes the world, producing one [`Communicator`] per rank, in
+    /// rank order.
+    pub fn into_communicators(self) -> Vec<Communicator> {
+        (0..self.size)
+            .map(|rank| Communicator {
+                rank,
+                world_size: self.size,
+                registry: Arc::clone(&self.registry),
+            })
+            .collect()
+    }
+}
+
+/// One rank's handle into a [`CommWorld`].
+///
+/// Cheap to clone; clones refer to the same rank.
+#[derive(Debug, Clone)]
+pub struct Communicator {
+    rank: usize,
+    world_size: usize,
+    registry: Arc<GroupRegistry>,
+}
+
+impl Communicator {
+    /// This rank's global rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// The group containing every rank in the world.
+    pub fn world_group(&self) -> GroupComm {
+        let ranks: Vec<usize> = (0..self.world_size).collect();
+        self.subgroup(&ranks)
+            .expect("every rank is a member of the world group")
+    }
+
+    /// Binds this rank into the group over `ranks`.
+    ///
+    /// All members must call `subgroup` with an identical rank list (the
+    /// SPMD convention NCCL communicator creation follows too).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `ranks` is empty, contains duplicates or
+    /// out-of-range ranks, or does not include this rank.
+    pub fn subgroup(&self, ranks: &[usize]) -> Result<GroupComm> {
+        if ranks.is_empty() {
+            return Err(CommError::InvalidGroup {
+                reason: "empty rank list".into(),
+            });
+        }
+        let mut seen = vec![false; self.world_size];
+        for &r in ranks {
+            if r >= self.world_size {
+                return Err(CommError::RankOutOfRange {
+                    rank: r,
+                    world_size: self.world_size,
+                });
+            }
+            if seen[r] {
+                return Err(CommError::InvalidGroup {
+                    reason: format!("duplicate rank {r}"),
+                });
+            }
+            seen[r] = true;
+        }
+        GroupComm::new(self.registry.lookup(ranks), self.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_produces_one_communicator_per_rank() {
+        let comms = CommWorld::new(4).into_communicators();
+        assert_eq!(comms.len(), 4);
+        for (i, c) in comms.iter().enumerate() {
+            assert_eq!(c.rank(), i);
+            assert_eq!(c.world_size(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be positive")]
+    fn zero_world_panics() {
+        let _ = CommWorld::new(0);
+    }
+
+    #[test]
+    fn subgroup_validation() {
+        let comms = CommWorld::new(4).into_communicators();
+        assert!(comms[0].subgroup(&[]).is_err());
+        assert!(comms[0].subgroup(&[0, 0]).is_err());
+        assert!(comms[0].subgroup(&[0, 9]).is_err());
+        // not a member
+        assert!(matches!(
+            comms[3].subgroup(&[0, 1]),
+            Err(CommError::NotAMember { rank: 3 })
+        ));
+        let g = comms[1].subgroup(&[0, 1]).unwrap();
+        assert_eq!(g.group_index(), 1);
+        assert_eq!(g.ranks(), &[0, 1]);
+    }
+
+    #[test]
+    fn same_rank_list_binds_same_group() {
+        let comms = CommWorld::new(2).into_communicators();
+        let a = comms[0].subgroup(&[0, 1]).unwrap();
+        let b = comms[1].subgroup(&[0, 1]).unwrap();
+        // Verified indirectly: they must rendezvous. Run a barrier across
+        // two threads.
+        let t = std::thread::spawn(move || b.barrier());
+        a.barrier();
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the collectives runtime: algebraic
+//! post-conditions over random world sizes and payloads, plus topology
+//! invariants over random parallel layouts.
+
+use collectives::{run_ranks, HybridTopology, ParallelDims};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_reduce_equals_sum_of_inputs(
+        world in 1usize..6,
+        len in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let results = run_ranks(world, move |comm| {
+            let g = comm.world_group();
+            let mut data: Vec<f32> = (0..len)
+                .map(|i| ((seed as usize + comm.rank() * 31 + i) % 17) as f32)
+                .collect();
+            let mine = data.clone();
+            g.all_reduce(&mut data);
+            (mine, data)
+        });
+        let mut expect = vec![0.0f32; len];
+        for (mine, _) in &results {
+            for (e, v) in expect.iter_mut().zip(mine) {
+                *e += v;
+            }
+        }
+        for (_, reduced) in &results {
+            prop_assert_eq!(reduced, &expect);
+        }
+    }
+
+    #[test]
+    fn all_to_all_twice_is_identity(
+        world in 1usize..6,
+        chunk in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let results = run_ranks(world, move |comm| {
+            let g = comm.world_group();
+            let data: Vec<f32> = (0..world * chunk)
+                .map(|i| ((seed as usize).wrapping_add(comm.rank() * 97 + i) % 251) as f32)
+                .collect();
+            let once = g.all_to_all(&data).unwrap();
+            let twice = g.all_to_all(&once).unwrap();
+            (data, twice)
+        });
+        for (orig, twice) in results {
+            prop_assert_eq!(orig, twice);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_inverts(
+        world in 1usize..5,
+        chunk in 1usize..5,
+    ) {
+        // reduce_scatter(all_gather(x) replicated) returns world·x
+        let results = run_ranks(world, move |comm| {
+            let g = comm.world_group();
+            let data: Vec<f32> = (0..chunk).map(|i| (comm.rank() * 10 + i) as f32).collect();
+            let gathered = g.all_gather(&data);
+            let back = g.reduce_scatter(&gathered).unwrap();
+            (data, back)
+        });
+        for (orig, back) in results {
+            let expect: Vec<f32> = orig.iter().map(|v| v * world as f32).collect();
+            prop_assert_eq!(back, expect);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topology_groups_always_partition(
+        nodes in 1usize..6,
+        gpn_pow in 0u32..4,
+        ep_pow in 0u32..3,
+    ) {
+        let gpn = 2usize.pow(gpn_pow);
+        let p = nodes * gpn;
+        // choose ep as a divisor-compatible split of P
+        let ep = 2usize.pow(ep_pow.min((p as f64).log2() as u32));
+        prop_assume!(p % ep == 0);
+        let esp = p / ep;
+        prop_assume!(gpn % esp == 0 || esp % gpn == 0);
+        let dims = ParallelDims { dp: p / gpn.min(p), mp: gpn.min(p), ep, esp };
+        prop_assume!(dims.dp * dims.mp == p);
+        let Ok(t) = HybridTopology::new(nodes, gpn, dims) else {
+            return Ok(()); // rejected configs are fine — constructor is the validator
+        };
+        for group_fn in [
+            HybridTopology::mp_group,
+            HybridTopology::esp_group,
+            HybridTopology::ep_group,
+            HybridTopology::dp_group,
+        ] {
+            let mut membership = vec![None; p];
+            for r in 0..p {
+                let g = group_fn(&t, r);
+                prop_assert!(g.contains(&r));
+                // group membership is symmetric: everyone in my group
+                // computes the same group
+                for &m in &g {
+                    let gm = group_fn(&t, m);
+                    prop_assert_eq!(&g, &gm);
+                }
+                membership[r] = Some(g);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Layer checkpointing: serialisable weight bundles.
+//!
+//! A [`LayerCheckpoint`] captures every trainable tensor of an
+//! [`MoeLayer`](crate::layer::MoeLayer) — gate projections and expert
+//! weights — as plain serde data, so training state survives process
+//! restarts (and, in the paper's setting, re-scheduling decisions: the
+//! checkpoint is schedule-independent because the data plane is).
+
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use crate::layer::MoeLayer;
+use crate::{MoeError, Result};
+
+/// All trainable weights of one MoE layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCheckpoint {
+    /// The gate family the weights belong to (validated on restore).
+    pub gate_name: String,
+    /// Gate weights in [`crate::gate::Gate::export_weights`] order.
+    pub gate: Vec<Tensor>,
+    /// Per-expert weights in [`crate::expert::Expert::weights`] order.
+    pub experts: Vec<Vec<Tensor>>,
+}
+
+impl LayerCheckpoint {
+    /// Total parameters captured.
+    pub fn num_params(&self) -> usize {
+        self.gate.iter().map(Tensor::num_elements).sum::<usize>()
+            + self
+                .experts
+                .iter()
+                .flatten()
+                .map(Tensor::num_elements)
+                .sum::<usize>()
+    }
+}
+
+impl MoeLayer {
+    /// Captures the layer's trainable state.
+    pub fn checkpoint(&self) -> LayerCheckpoint {
+        LayerCheckpoint {
+            gate_name: self.gate().name().to_string(),
+            gate: self.gate().export_weights(),
+            experts: self
+                .experts()
+                .iter()
+                .map(|e| e.weights().into_iter().cloned().collect())
+                .collect(),
+        }
+    }
+
+    /// Restores a checkpoint into this layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::BadInput`] when the checkpoint's gate family,
+    /// expert count, or any tensor shape disagrees with the layer.
+    pub fn restore(&mut self, checkpoint: &LayerCheckpoint) -> Result<()> {
+        if checkpoint.gate_name != self.gate().name() {
+            return Err(MoeError::BadInput {
+                expected: format!("gate {:?}", self.gate().name()),
+                actual: vec![checkpoint.gate_name.len()],
+            });
+        }
+        if checkpoint.experts.len() != self.experts().len() {
+            return Err(MoeError::BadInput {
+                expected: format!("{} expert weight sets", self.experts().len()),
+                actual: vec![checkpoint.experts.len()],
+            });
+        }
+        self.gate_mut().import_weights(&checkpoint.gate)?;
+        for (expert, weights) in self.experts_mut().iter_mut().zip(&checkpoint.experts) {
+            expert.import_weights(weights)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MoeConfig;
+    use tensor::TensorRng;
+
+    fn config() -> MoeConfig {
+        MoeConfig::builder()
+            .batch_size(1)
+            .seq_len(8)
+            .embed_dim(8)
+            .hidden_dim(16)
+            .num_experts(3)
+            .top_k(2)
+            .no_drop()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_outputs() {
+        let cfg = config();
+        let mut rng = TensorRng::seed_from(1);
+        let mut original = MoeLayer::gshard(&cfg, &mut rng).unwrap();
+        let input = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
+
+        // train a few steps so the weights moved off init
+        let mut route_rng = TensorRng::seed_from(0);
+        for _ in 0..2 {
+            let y = original.forward(&input, &mut route_rng).unwrap();
+            let g = original.backward(&Tensor::ones(y.dims())).unwrap();
+            original.apply_grads(&g, 0.05).unwrap();
+        }
+        let snapshot = original.checkpoint();
+        let expect = original.forward(&input, &mut route_rng).unwrap();
+
+        // a fresh layer with different init must reproduce after restore
+        let mut other_rng = TensorRng::seed_from(999);
+        let mut restored = MoeLayer::gshard(&cfg, &mut other_rng).unwrap();
+        let before = restored.forward(&input, &mut route_rng).unwrap();
+        assert!(!before.allclose(&expect, 1e-4), "different init must differ");
+        restored.restore(&snapshot).unwrap();
+        let after = restored.forward(&input, &mut route_rng).unwrap();
+        assert!(after.allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn checkpoint_survives_serde_round_trip() {
+        let cfg = config();
+        let mut rng = TensorRng::seed_from(2);
+        let layer = MoeLayer::sigmoid(&cfg, &mut rng).unwrap();
+        let snapshot = layer.checkpoint();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: LayerCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(snapshot, back);
+        assert_eq!(back.gate_name, "sigmoid");
+        assert!(back.num_params() > 0);
+    }
+
+    #[test]
+    fn restore_validates_compatibility() {
+        let cfg = config();
+        let mut rng = TensorRng::seed_from(3);
+        let gshard = MoeLayer::gshard(&cfg, &mut rng).unwrap();
+        let mut sigmoid = MoeLayer::sigmoid(&cfg, &mut rng).unwrap();
+        // wrong gate family
+        assert!(sigmoid.restore(&gshard.checkpoint()).is_err());
+        // wrong expert count
+        let bigger = MoeConfig::builder()
+            .batch_size(1)
+            .seq_len(8)
+            .embed_dim(8)
+            .hidden_dim(16)
+            .num_experts(4)
+            .top_k(2)
+            .no_drop()
+            .build()
+            .unwrap();
+        let mut big_layer = MoeLayer::sigmoid(&bigger, &mut rng).unwrap();
+        assert!(big_layer.restore(&sigmoid.checkpoint()).is_err());
+        // wrong shapes within a matching family
+        let wide = MoeConfig::builder()
+            .batch_size(1)
+            .seq_len(8)
+            .embed_dim(16)
+            .hidden_dim(32)
+            .num_experts(3)
+            .top_k(2)
+            .no_drop()
+            .build()
+            .unwrap();
+        let mut wide_layer = MoeLayer::sigmoid(&wide, &mut rng).unwrap();
+        assert!(wide_layer.restore(&sigmoid.checkpoint()).is_err());
+    }
+
+    #[test]
+    fn expert_choice_checkpoint_round_trips() {
+        let cfg = config();
+        let mut rng = TensorRng::seed_from(4);
+        let mut layer = MoeLayer::expert_choice(&cfg, &mut rng).unwrap();
+        let snap = layer.checkpoint();
+        assert_eq!(snap.gate.len(), 1);
+        layer.restore(&snap).unwrap();
+    }
+}

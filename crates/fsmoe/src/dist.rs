@@ -1,0 +1,319 @@
+//! Distributed MoE layer execution over the collectives runtime.
+//!
+//! [`DistMoeLayer`] runs the exact data flow of the paper's Fig. 2 on
+//! real rank threads with real data movement:
+//!
+//! ```text
+//! gate → order → AlltoAll(EP) → ESP-AllGather → expert shard
+//!      → ESP-ReduceScatter → AlltoAll(EP) → i-order
+//! ```
+//!
+//! Expert placement follows the paper: expert `e` is hosted by EP
+//! position `e / (E/N_EP)` — i.e. by one node — and sharded across that
+//! node's ESP group. Every `(expert, shard)` pair lives on exactly one
+//! GPU, so expert weights need no data-parallel gradient synchronisation
+//! (the Gradient-AllReduce of §5 covers the *dense* parameters, which
+//! are DP-replicated).
+//!
+//! The integration tests assert the distributed output equals the
+//! single-process [`MoeLayer`](crate::layer::MoeLayer) reference —
+//! distribution, like scheduling, must never change the numbers.
+
+use collectives::{Communicator, GroupComm, HybridTopology};
+use tensor::{Tensor, TensorRng};
+
+use crate::config::MoeConfig;
+use crate::dispatch::{DispatchCtx, Dispatcher, NcclA2A};
+use crate::expert::{build_expert, Expert, ExpertState};
+use crate::gate::{GShardGate, Gate};
+use crate::order::{combine_backward, order_backward, OrderFn, TutelOrdering};
+use crate::routing::Routing;
+use crate::{MoeError, Result};
+
+/// Gradients produced by [`DistMoeLayer::backward`] on one rank.
+#[derive(Debug, Clone)]
+pub struct DistMoeGrads {
+    /// Gradient with respect to this rank's input block.
+    pub input: Tensor,
+    /// Weight gradients for this rank's local expert shards.
+    pub shards: Vec<Vec<Tensor>>,
+}
+
+#[derive(Debug)]
+struct DistState {
+    routing: Routing,
+    shard_states: Vec<ExpertState>,
+    gathered_rows: usize,
+}
+
+/// One rank's slice of a distributed MoE layer.
+pub struct DistMoeLayer {
+    config: MoeConfig,
+    gate: Box<dyn Gate>,
+    order: Box<dyn OrderFn>,
+    dispatcher: Box<dyn Dispatcher>,
+    /// ESP shards of this rank's local experts (`E / N_EP` of them).
+    shards: Vec<Box<dyn Expert>>,
+    ep_group: GroupComm,
+    esp_group: GroupComm,
+    experts_per_ep: usize,
+    state: Option<DistState>,
+}
+
+impl std::fmt::Debug for DistMoeLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistMoeLayer")
+            .field("gate", &self.gate.name())
+            .field("local_experts", &self.shards.len())
+            .field("ep", &self.ep_group.size())
+            .field("esp", &self.esp_group.size())
+            .finish()
+    }
+}
+
+impl DistMoeLayer {
+    /// Builds this rank's slice with a GShard gate.
+    ///
+    /// Every rank must pass the same `seed`; gate weights are replicated
+    /// and full experts are materialised identically on all ranks, then
+    /// each rank keeps only its `(expert, shard)` slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `E` does not divide by `N_EP` or the hidden
+    /// size does not divide by `N_ESP`.
+    pub fn gshard(
+        config: &MoeConfig,
+        comm: &Communicator,
+        topo: &HybridTopology,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut rng = TensorRng::seed_from(seed);
+        let gate = GShardGate::new(config.embed_dim, config.num_experts, config.top_k, &mut rng);
+        Self::with_gate(config, Box::new(gate), &mut rng, comm, topo)
+    }
+
+    /// Builds this rank's slice with an explicit gate. `rng` must be in
+    /// the same state on every rank (weights are drawn from it).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on indivisible expert or shard counts.
+    pub fn with_gate(
+        config: &MoeConfig,
+        gate: Box<dyn Gate>,
+        rng: &mut TensorRng,
+        comm: &Communicator,
+        topo: &HybridTopology,
+    ) -> Result<Self> {
+        let dims = topo.dims();
+        if config.num_experts % dims.ep != 0 {
+            return Err(MoeError::BadConfig {
+                field: "num_experts",
+                reason: format!("{} not divisible by N_EP {}", config.num_experts, dims.ep),
+            });
+        }
+        let ep_group = comm.subgroup(&topo.ep_group(comm.rank()))?;
+        let esp_group = comm.subgroup(&topo.esp_group(comm.rank()))?;
+        let experts_per_ep = config.num_experts / dims.ep;
+
+        // Materialise the full expert set identically everywhere, then
+        // keep our shards.
+        let my_ep_pos = ep_group.group_index();
+        let my_shard = esp_group.group_index();
+        let mut shards = Vec::with_capacity(experts_per_ep);
+        for e in 0..config.num_experts {
+            let full = build_expert(config.ffn, config.embed_dim, config.hidden_dim, rng);
+            if e / experts_per_ep == my_ep_pos {
+                shards.push(full.shard(my_shard, dims.esp)?);
+            }
+        }
+        Ok(DistMoeLayer {
+            config: config.clone(),
+            gate,
+            order: Box::new(TutelOrdering::new()),
+            dispatcher: Box::new(NcclA2A),
+            shards,
+            ep_group,
+            esp_group,
+            experts_per_ep,
+            state: None,
+        })
+    }
+
+    /// Replaces the AlltoAll algorithm (flat dispatch context).
+    pub fn set_dispatcher(&mut self, dispatcher: Box<dyn Dispatcher>) {
+        self.dispatcher = dispatcher;
+    }
+
+    /// This rank's local expert shards.
+    pub fn shards(&self) -> &[Box<dyn Expert>] {
+        &self.shards
+    }
+
+    /// Routing from the latest forward pass.
+    pub fn last_routing(&self) -> Option<&Routing> {
+        self.state.as_ref().map(|s| &s.routing)
+    }
+
+    /// Extracts expert `el`'s rows from the gathered buffer layout
+    /// `[esp][ep][expert][slot]`.
+    fn gather_expert_rows(&self, gathered: &[f32], el: usize) -> Tensor {
+        let m = self.config.embed_dim;
+        let t = self.config.capacity();
+        let n_esp = self.esp_group.size();
+        let n_ep = self.ep_group.size();
+        let mut out = Vec::with_capacity(n_esp * n_ep * t * m);
+        for s in 0..n_esp {
+            for p in 0..n_ep {
+                let row0 = ((s * n_ep + p) * self.experts_per_ep + el) * t;
+                out.extend_from_slice(&gathered[row0 * m..(row0 + t) * m]);
+            }
+        }
+        Tensor::from_vec(out, &[n_esp * n_ep * t, m]).expect("constructed shape")
+    }
+
+    /// Scatters expert `el`'s output rows back into the gathered layout.
+    fn scatter_expert_rows(&self, buffer: &mut [f32], el: usize, rows: &Tensor) {
+        let m = self.config.embed_dim;
+        let t = self.config.capacity();
+        let n_esp = self.esp_group.size();
+        let n_ep = self.ep_group.size();
+        let mut src = 0usize;
+        for s in 0..n_esp {
+            for p in 0..n_ep {
+                let row0 = ((s * n_ep + p) * self.experts_per_ep + el) * t;
+                buffer[row0 * m..(row0 + t) * m]
+                    .copy_from_slice(&rows.data()[src * m..(src + t) * m]);
+                src += t;
+            }
+        }
+    }
+
+    /// Runs the distributed forward pass on this rank's `(tokens, M)`
+    /// input block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches or collective failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the collectives layer) if ranks disagree on the
+    /// sequence of collectives — an SPMD violation.
+    pub fn forward(&mut self, input: &Tensor, rng: &mut TensorRng) -> Result<Tensor> {
+        if input.rank() != 2 || input.dims()[1] != self.config.embed_dim {
+            return Err(MoeError::BadInput {
+                expected: format!("(tokens, {})", self.config.embed_dim),
+                actual: input.dims().to_vec(),
+            });
+        }
+        let m = self.config.embed_dim;
+        let t = self.config.capacity();
+        let routing = self.gate.route(input, t, rng)?;
+        let buffer = self.order.order(input, &routing)?; // (E·T, M)
+
+        // AlltoAll dispatch over the EP group.
+        let ctx = DispatchCtx::flat(&self.ep_group);
+        let received = self.dispatcher.all_to_all(buffer.data(), &ctx)?;
+
+        // ESP-AllGather: replicate the node's token set to all shards.
+        let gathered = self.esp_group.all_gather(&received);
+        let gathered_rows = gathered.len() / m;
+
+        // Expert shard computation.
+        let mut shard_out = vec![0.0f32; gathered.len()];
+        let mut shard_states = Vec::with_capacity(self.shards.len());
+        for el in 0..self.experts_per_ep {
+            let x = self.gather_expert_rows(&gathered, el);
+            let (y, st) = self.shards[el].forward(&x)?;
+            self.scatter_expert_rows(&mut shard_out, el, &y);
+            shard_states.push(st);
+        }
+
+        // ESP-ReduceScatter: sum shard partials, return our token slice.
+        let reduced = self.esp_group.reduce_scatter(&shard_out)?;
+
+        // AlltoAll combine over the EP group (the transpose is its own
+        // inverse).
+        let combined = self.dispatcher.all_to_all(&reduced, &ctx)?;
+        let expert_out = Tensor::from_vec(combined, &[self.config.num_experts * t, m])?;
+
+        let output = self.order.inverse(&expert_out, &routing)?;
+        self.state = Some(DistState {
+            routing,
+            shard_states,
+            gathered_rows,
+        });
+        Ok(output)
+    }
+
+    /// Backpropagates this rank's output gradient, mirroring the forward
+    /// collectives (the adjoint of AllGather is ReduceScatter and vice
+    /// versa; AlltoAll is self-adjoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::NoForwardState`] before any forward.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<DistMoeGrads> {
+        let state = self.state.as_ref().ok_or(MoeError::NoForwardState)?;
+        let m = self.config.embed_dim;
+        let routing = &state.routing;
+
+        // i-order adjoint: scatter weighted grads into dispatch layout.
+        let grad_expert_out = combine_backward(grad_output, routing)?;
+
+        // combine-AlltoAll adjoint: AlltoAll back to expert hosts.
+        let ctx = DispatchCtx::flat(&self.ep_group);
+        let grad_reduced = self.dispatcher.all_to_all(grad_expert_out.data(), &ctx)?;
+
+        // ReduceScatter adjoint: AllGather the gradient slices.
+        let grad_shard_out = self.esp_group.all_gather(&grad_reduced);
+        debug_assert_eq!(grad_shard_out.len() / m, state.gathered_rows);
+
+        // Expert shard backward.
+        let mut grad_gathered = vec![0.0f32; grad_shard_out.len()];
+        let mut shard_grads = Vec::with_capacity(self.shards.len());
+        for el in 0..self.experts_per_ep {
+            let gy = self.gather_expert_rows(&grad_shard_out, el);
+            let grads = self.shards[el].backward(&gy, &state.shard_states[el])?;
+            self.scatter_expert_rows(&mut grad_gathered, el, &grads.input);
+            shard_grads.push(grads.weights);
+        }
+
+        // AllGather adjoint: ReduceScatter the input grads back to the
+        // rank that contributed each token slice.
+        let grad_received = self.esp_group.reduce_scatter(&grad_gathered)?;
+
+        // dispatch-AlltoAll adjoint: AlltoAll back to token sources.
+        let grad_buffer_raw = self.dispatcher.all_to_all(&grad_received, &ctx)?;
+        let grad_buffer = Tensor::from_vec(
+            grad_buffer_raw,
+            &[self.config.num_experts * self.config.capacity(), m],
+        )?;
+
+        let grad_input = order_backward(&grad_buffer, routing)?;
+        Ok(DistMoeGrads {
+            input: grad_input,
+            shards: shard_grads,
+        })
+    }
+
+    /// Applies SGD updates to the local shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `grads` does not match the shard list.
+    pub fn apply_grads(&mut self, grads: &DistMoeGrads, lr: f32) -> Result<()> {
+        if grads.shards.len() != self.shards.len() {
+            return Err(MoeError::BadInput {
+                expected: format!("{} shard gradient sets", self.shards.len()),
+                actual: vec![grads.shards.len()],
+            });
+        }
+        for (shard, g) in self.shards.iter_mut().zip(&grads.shards) {
+            shard.apply_grads(g, lr)?;
+        }
+        Ok(())
+    }
+}

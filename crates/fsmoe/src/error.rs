@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for MoE layer construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MoeError {
+    /// A configuration field was invalid.
+    BadConfig {
+        /// Which field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An input tensor's shape did not match the configuration.
+    BadInput {
+        /// What was expected.
+        expected: String,
+        /// What was received.
+        actual: Vec<usize>,
+    },
+    /// `backward` was called before `forward` (no saved activations).
+    NoForwardState,
+    /// A tensor operation failed.
+    Tensor(tensor::TensorError),
+    /// A collective operation failed.
+    Comm(collectives::CommError),
+}
+
+impl fmt::Display for MoeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoeError::BadConfig { field, reason } => {
+                write!(f, "bad config field {field}: {reason}")
+            }
+            MoeError::BadInput { expected, actual } => {
+                write!(f, "bad input: expected {expected}, got shape {actual:?}")
+            }
+            MoeError::NoForwardState => write!(f, "backward called before forward"),
+            MoeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            MoeError::Comm(e) => write!(f, "communication error: {e}"),
+        }
+    }
+}
+
+impl Error for MoeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MoeError::Tensor(e) => Some(e),
+            MoeError::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tensor::TensorError> for MoeError {
+    fn from(e: tensor::TensorError) -> Self {
+        MoeError::Tensor(e)
+    }
+}
+
+impl From<collectives::CommError> for MoeError {
+    fn from(e: collectives::CommError) -> Self {
+        MoeError::Comm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MoeError::BadConfig {
+            field: "top_k",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("top_k"));
+        assert!(e.source().is_none());
+
+        let t = MoeError::from(tensor::TensorError::InvalidK { k: 3, axis_len: 2 });
+        assert!(t.source().is_some());
+        assert!(t.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MoeError>();
+    }
+}

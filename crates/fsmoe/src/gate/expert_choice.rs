@@ -1,0 +1,132 @@
+//! The expert-choice (EC) router.
+
+use tensor::{top_k_indices, Tensor, TensorRng};
+
+use super::{check_gate_input, Gate};
+use crate::routing::{Routing, RoutingBuilder};
+use crate::Result;
+
+/// Expert-choice routing (Zhou et al., 2022): instead of tokens choosing
+/// experts, **each expert independently selects its top-c tokens** —
+/// `G(I) = Softmax(KeepTopK((I·W_g)ᵀ, k))` in the paper's §2.1 notation.
+///
+/// Load balance is perfect by construction (every expert processes
+/// exactly `min(c, tokens)` tokens) and no token is ever dropped by
+/// overflow, at the cost that some tokens may be selected by no expert.
+#[derive(Debug, Clone)]
+pub struct ExpertChoiceGate {
+    embed_dim: usize,
+    num_experts: usize,
+    w_gate: Tensor,
+}
+
+impl ExpertChoiceGate {
+    /// Creates an expert-choice gate with Xavier-initialised weights.
+    pub fn new(embed_dim: usize, num_experts: usize, rng: &mut TensorRng) -> Self {
+        ExpertChoiceGate {
+            embed_dim,
+            num_experts,
+            w_gate: rng.xavier(embed_dim, num_experts),
+        }
+    }
+}
+
+impl Gate for ExpertChoiceGate {
+    fn name(&self) -> &'static str {
+        "expert_choice"
+    }
+
+    fn num_experts(&self) -> usize {
+        self.num_experts
+    }
+
+    fn route(&self, input: &Tensor, capacity: usize, _rng: &mut TensorRng) -> Result<Routing> {
+        check_gate_input(input, self.embed_dim)?;
+        let tokens = input.dims()[0];
+        let logits = input.matmul(&self.w_gate)?; // (tokens, E)
+        let transposed = logits.transpose()?; // (E, tokens)
+        let c = capacity.min(tokens);
+        let mut builder = RoutingBuilder::new(tokens, self.num_experts, capacity);
+        for e in 0..self.num_experts {
+            let row = &transposed.data()[e * tokens..(e + 1) * tokens];
+            let chosen = top_k_indices(row, c)?;
+            // softmax over the chosen tokens' logits
+            let max = chosen
+                .iter()
+                .map(|&t| row[t])
+                .fold(f32::NEG_INFINITY, f32::max);
+            let exp: Vec<f32> = chosen.iter().map(|&t| (row[t] - max).exp()).collect();
+            let denom: f32 = exp.iter().sum();
+            for (&t, &ev) in chosen.iter().zip(&exp) {
+                builder.assign(t, e, ev / denom);
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    fn flops(&self, tokens: usize) -> f64 {
+        2.0 * tokens as f64 * self.embed_dim as f64 * self.num_experts as f64
+    }
+
+    fn export_weights(&self) -> Vec<Tensor> {
+        vec![self.w_gate.clone()]
+    }
+
+    fn import_weights(&mut self, weights: &[Tensor]) -> Result<()> {
+        let mut gate = self.w_gate.clone();
+        super::assign_weights(&mut [&mut gate], weights)?;
+        self.w_gate = gate;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_load_balance() {
+        let mut rng = TensorRng::seed_from(31);
+        let g = ExpertChoiceGate::new(8, 4, &mut rng);
+        let input = rng.normal(&[20, 8], 0.0, 1.0);
+        let r = g.route(&input, 5, &mut rng).unwrap();
+        assert_eq!(r.expert_loads(), vec![5, 5, 5, 5]);
+        assert_eq!(r.load_imbalance(), 0.0);
+        assert!(r.dropped().is_empty());
+    }
+
+    #[test]
+    fn per_expert_weights_sum_to_one() {
+        let mut rng = TensorRng::seed_from(32);
+        let g = ExpertChoiceGate::new(8, 3, &mut rng);
+        let input = rng.normal(&[12, 8], 0.0, 1.0);
+        let r = g.route(&input, 4, &mut rng).unwrap();
+        let mut sums = vec![0.0f32; 3];
+        for a in r.assignments() {
+            sums[a.expert] += a.weight;
+        }
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn capacity_larger_than_tokens_clamps() {
+        let mut rng = TensorRng::seed_from(33);
+        let g = ExpertChoiceGate::new(4, 2, &mut rng);
+        let input = rng.normal(&[3, 4], 0.0, 1.0);
+        let r = g.route(&input, 10, &mut rng).unwrap();
+        // each expert selects all 3 tokens
+        assert_eq!(r.expert_loads(), vec![3, 3]);
+    }
+
+    #[test]
+    fn a_token_can_be_unselected() {
+        // with 1 expert and capacity 1, only the single best token is kept
+        let mut rng = TensorRng::seed_from(34);
+        let g = ExpertChoiceGate::new(4, 1, &mut rng);
+        let input = rng.normal(&[8, 4], 0.0, 1.0);
+        let r = g.route(&input, 1, &mut rng).unwrap();
+        assert_eq!(r.assignments().len(), 1);
+    }
+}

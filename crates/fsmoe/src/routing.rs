@@ -1,0 +1,314 @@
+//! Token-to-expert routing decisions with capacity enforcement.
+//!
+//! Every gate family produces a [`Routing`]: a list of
+//! `(token, expert, slot, weight)` assignments honouring the per-expert
+//! capacity `T = k·f·B·L/E`. Overflowing tokens are *dropped* (their
+//! assignment is discarded), matching GShard/Tutel semantics when
+//! `f ≠ *`.
+
+use serde::{Deserialize, Serialize};
+
+/// One token-to-expert assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Source token index (row of the layer input).
+    pub token: usize,
+    /// Destination expert.
+    pub expert: usize,
+    /// Capacity slot occupied within the expert's buffer.
+    pub slot: usize,
+    /// Combine weight applied to the expert output for this token.
+    pub weight: f32,
+}
+
+/// A complete routing decision for one batch of tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Routing {
+    num_experts: usize,
+    capacity: usize,
+    num_tokens: usize,
+    assignments: Vec<Assignment>,
+    dropped: Vec<(usize, usize)>,
+}
+
+impl Routing {
+    /// Number of experts routed over.
+    pub fn num_experts(&self) -> usize {
+        self.num_experts
+    }
+
+    /// Per-expert slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of input tokens the routing covers.
+    pub fn num_tokens(&self) -> usize {
+        self.num_tokens
+    }
+
+    /// All surviving assignments, ordered by `(expert, slot)`.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// `(token, expert)` pairs that overflowed capacity and were dropped.
+    pub fn dropped(&self) -> &[(usize, usize)] {
+        &self.dropped
+    }
+
+    /// Tokens occupying each expert (histogram over experts).
+    pub fn expert_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.num_experts];
+        for a in &self.assignments {
+            loads[a.expert] += 1;
+        }
+        loads
+    }
+
+    /// Fraction of attempted assignments that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.assignments.len() + self.dropped.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped.len() as f64 / total as f64
+        }
+    }
+
+    /// The GShard-style auxiliary load-balancing loss:
+    /// `E · Σ_e f_e · w̄_e`, where `f_e` is the fraction of assignments
+    /// landing on expert `e` and `w̄_e` the mean combine weight it
+    /// receives. Perfectly uniform routing scores 1.0; concentration on
+    /// few experts scores higher. Training loops add this (scaled) to
+    /// the task loss to keep experts balanced.
+    pub fn load_balance_loss(&self) -> f64 {
+        if self.assignments.is_empty() {
+            return 0.0;
+        }
+        let mut count = vec![0usize; self.num_experts];
+        let mut weight = vec![0.0f64; self.num_experts];
+        for a in &self.assignments {
+            count[a.expert] += 1;
+            weight[a.expert] += f64::from(a.weight);
+        }
+        let total = self.assignments.len() as f64;
+        let total_weight: f64 = weight.iter().sum();
+        if total_weight == 0.0 {
+            return 0.0;
+        }
+        self.num_experts as f64
+            * count
+                .iter()
+                .zip(&weight)
+                .map(|(&c, &w)| (c as f64 / total) * (w / total_weight))
+                .sum::<f64>()
+    }
+
+    /// Coefficient of variation of expert loads — the load-balance metric
+    /// gating papers report (0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let loads = self.expert_loads();
+        let n = loads.len() as f64;
+        let mean = loads.iter().sum::<usize>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = loads
+            .iter()
+            .map(|&l| (l as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+/// Incrementally builds a [`Routing`], allocating capacity slots in
+/// arrival order and dropping overflow.
+#[derive(Debug, Clone)]
+pub struct RoutingBuilder {
+    num_experts: usize,
+    capacity: usize,
+    num_tokens: usize,
+    next_slot: Vec<usize>,
+    assignments: Vec<Assignment>,
+    dropped: Vec<(usize, usize)>,
+}
+
+impl RoutingBuilder {
+    /// Starts a routing over `num_tokens` tokens, `num_experts` experts,
+    /// `capacity` slots per expert.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_experts` or `capacity` is zero.
+    pub fn new(num_tokens: usize, num_experts: usize, capacity: usize) -> Self {
+        assert!(num_experts > 0, "routing needs at least one expert");
+        assert!(capacity > 0, "routing needs positive capacity");
+        RoutingBuilder {
+            num_experts,
+            capacity,
+            num_tokens,
+            next_slot: vec![0; num_experts],
+            assignments: Vec::new(),
+            dropped: Vec::new(),
+        }
+    }
+
+    /// Attempts to assign `token` to `expert` with `weight`. Returns
+    /// `true` when a slot was available, `false` when the token was
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range token or expert indices.
+    pub fn assign(&mut self, token: usize, expert: usize, weight: f32) -> bool {
+        assert!(token < self.num_tokens, "token {token} out of range");
+        assert!(expert < self.num_experts, "expert {expert} out of range");
+        if self.next_slot[expert] >= self.capacity {
+            self.dropped.push((token, expert));
+            return false;
+        }
+        let slot = self.next_slot[expert];
+        self.next_slot[expert] += 1;
+        self.assignments.push(Assignment {
+            token,
+            expert,
+            slot,
+            weight,
+        });
+        true
+    }
+
+    /// Finishes the routing, sorting assignments by `(expert, slot)` so
+    /// ordering functions can stream expert buffers sequentially.
+    pub fn finish(mut self) -> Routing {
+        self.assignments
+            .sort_by_key(|a| (a.expert, a.slot, a.token));
+        Routing {
+            num_experts: self.num_experts,
+            capacity: self.capacity,
+            num_tokens: self.num_tokens,
+            assignments: self.assignments,
+            dropped: self.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_allocate_in_arrival_order() {
+        let mut b = RoutingBuilder::new(4, 2, 2);
+        assert!(b.assign(0, 0, 1.0));
+        assert!(b.assign(1, 0, 0.5));
+        assert!(b.assign(2, 1, 0.25));
+        let r = b.finish();
+        assert_eq!(r.assignments().len(), 3);
+        assert_eq!(r.assignments()[0].slot, 0);
+        assert_eq!(r.assignments()[1].slot, 1);
+        assert_eq!(r.assignments()[2].expert, 1);
+    }
+
+    #[test]
+    fn capacity_overflow_drops() {
+        let mut b = RoutingBuilder::new(3, 1, 2);
+        assert!(b.assign(0, 0, 1.0));
+        assert!(b.assign(1, 0, 1.0));
+        assert!(!b.assign(2, 0, 1.0));
+        let r = b.finish();
+        assert_eq!(r.dropped(), &[(2, 0)]);
+        assert!((r.drop_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut b = RoutingBuilder::new(100, 4, 5);
+        for t in 0..100 {
+            b.assign(t, t % 4, 1.0);
+        }
+        let r = b.finish();
+        for load in r.expert_loads() {
+            assert!(load <= r.capacity());
+        }
+        assert_eq!(r.assignments().len(), 20);
+        assert_eq!(r.dropped().len(), 80);
+    }
+
+    #[test]
+    fn assignments_sorted_by_expert_slot() {
+        let mut b = RoutingBuilder::new(6, 3, 2);
+        // interleave experts
+        for (t, e) in [(0, 2), (1, 0), (2, 1), (3, 2), (4, 0), (5, 1)] {
+            b.assign(t, e, 1.0);
+        }
+        let r = b.finish();
+        let keys: Vec<(usize, usize)> = r.assignments().iter().map(|a| (a.expert, a.slot)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn balance_metrics() {
+        let mut b = RoutingBuilder::new(8, 2, 8);
+        for t in 0..8 {
+            b.assign(t, t % 2, 1.0);
+        }
+        let r = b.finish();
+        assert_eq!(r.expert_loads(), vec![4, 4]);
+        assert_eq!(r.load_imbalance(), 0.0);
+
+        let mut b = RoutingBuilder::new(8, 2, 8);
+        for t in 0..8 {
+            b.assign(t, 0, 1.0);
+        }
+        let r = b.finish();
+        assert!(r.load_imbalance() > 0.9);
+    }
+
+    #[test]
+    fn balance_loss_is_one_when_uniform_and_larger_when_skewed() {
+        // uniform: 4 experts, equal counts, equal weights → loss = 1
+        let mut b = RoutingBuilder::new(8, 4, 8);
+        for t in 0..8 {
+            b.assign(t, t % 4, 0.5);
+        }
+        let uniform = b.finish().load_balance_loss();
+        assert!((uniform - 1.0).abs() < 1e-9, "{uniform}");
+
+        // all traffic on one expert → loss = E = 4
+        let mut b = RoutingBuilder::new(8, 4, 8);
+        for t in 0..8 {
+            b.assign(t, 0, 0.5);
+        }
+        let skewed = b.finish().load_balance_loss();
+        assert!((skewed - 4.0).abs() < 1e-9, "{skewed}");
+        assert!(skewed > uniform);
+    }
+
+    #[test]
+    fn balance_loss_edge_cases() {
+        assert_eq!(RoutingBuilder::new(0, 3, 1).finish().load_balance_loss(), 0.0);
+        let mut b = RoutingBuilder::new(1, 2, 1);
+        b.assign(0, 1, 0.0); // zero-weight assignment
+        assert_eq!(b.finish().load_balance_loss(), 0.0);
+    }
+
+    #[test]
+    fn empty_routing_is_sane() {
+        let r = RoutingBuilder::new(0, 2, 1).finish();
+        assert_eq!(r.drop_rate(), 0.0);
+        assert_eq!(r.load_imbalance(), 0.0);
+        assert_eq!(r.num_tokens(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_expert_panics() {
+        let mut b = RoutingBuilder::new(1, 2, 1);
+        b.assign(0, 5, 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Workload specification: the bridge from an MoE layer's shapes to the
+//! scheduler's cost models.
+//!
+//! The paper's optimizer (Algorithm 1) consumes *MoE-related
+//! coefficients* — the communication volumes `n_a2a`, `n_ag`, `n_rs` and
+//! the compute workload `n_exp` — alongside cluster-related α/β
+//! coefficients. [`MoeLayerSpec`] derives those volumes from an
+//! [`MoeConfig`] and the parallel layout, per GPU per layer.
+
+use collectives::ParallelDims;
+use serde::{Deserialize, Serialize};
+
+use crate::config::MoeConfig;
+
+/// Bytes per f32 element.
+pub const F32_BYTES: f64 = 4.0;
+
+/// Per-GPU, per-layer workload volumes of one MoE layer (forward phase).
+///
+/// The backward phase doubles the expert workload (weight grad + input
+/// grad, §4.4) — see [`MoeLayerSpec::backward`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoeLayerSpec {
+    /// AlltoAll dispatch (and combine) message volume, bytes.
+    pub n_a2a: f64,
+    /// ESP-AllGather volume, bytes.
+    pub n_ag: f64,
+    /// ESP-ReduceScatter volume, bytes.
+    pub n_rs: f64,
+    /// Expert computation workload, FLOPs.
+    pub n_exp: f64,
+    /// Identical GEMMs per expert application (the paper multiplies
+    /// `α_gemm`, `β_gemm` by this count to obtain `α_exp`, `β_exp`).
+    pub gemms: usize,
+    /// MoE (expert) parameter bytes held on this GPU.
+    pub moe_param_bytes: f64,
+}
+
+impl MoeLayerSpec {
+    /// Derives the volumes from a layer config and parallel layout.
+    ///
+    /// With `T = k·f·B·L/E` capacity slots per expert, the dispatched
+    /// tensor is `(E, T, M)`, i.e. `k·f·B·L·M` elements per GPU — that is
+    /// the AlltoAll volume, and (in the paper's node-aligned deployment)
+    /// also the volume the ESP-AllGather replicates and the
+    /// ESP-ReduceScatter folds back.
+    pub fn from_config(config: &MoeConfig, dims: ParallelDims) -> Self {
+        let dispatched = (config.num_experts * config.capacity() * config.embed_dim) as f64;
+        let bytes = dispatched * F32_BYTES;
+        // per-GPU expert FLOPs: every dispatched row crosses the expert's
+        // GEMMs; ESP divides the hidden dim but multiplies token count by
+        // the same factor (each shard sees the whole gathered batch), so
+        // the per-GPU total is shard-invariant.
+        let n_exp = dispatched * 2.0 * config.hidden_dim as f64 * config.ffn.gemms() as f64;
+        // experts hosted per GPU: E/EP experts, each 1/ESP of params
+        let experts_per_gpu = config.num_experts as f64 / dims.ep as f64;
+        let moe_param_bytes =
+            experts_per_gpu * config.params_per_expert() as f64 / dims.esp as f64 * F32_BYTES;
+        MoeLayerSpec {
+            n_a2a: bytes,
+            n_ag: bytes,
+            n_rs: bytes,
+            n_exp,
+            gemms: config.ffn.gemms(),
+            moe_param_bytes,
+        }
+    }
+
+    /// The backward-phase spec: expert workload doubles (gradient of both
+    /// weights and input, §4.4); communication volumes are unchanged
+    /// (the backward AlltoAll/AllGather/ReduceScatter move gradient
+    /// tensors of the same shapes).
+    pub fn backward(&self) -> MoeLayerSpec {
+        MoeLayerSpec {
+            n_exp: 2.0 * self.n_exp,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FfnKind;
+
+    fn dims() -> ParallelDims {
+        ParallelDims {
+            dp: 6,
+            mp: 8,
+            ep: 6,
+            esp: 8,
+        }
+    }
+
+    #[test]
+    fn a2a_volume_is_capacity_times_embed() {
+        let c = MoeConfig::builder()
+            .batch_size(4)
+            .seq_len(1024)
+            .embed_dim(1024)
+            .hidden_dim(4096)
+            .num_experts(8)
+            .top_k(2)
+            .capacity_factor(1.0)
+            .build()
+            .unwrap();
+        let spec = MoeLayerSpec::from_config(&c, dims());
+        let expect = 8.0 * c.capacity() as f64 * 1024.0 * 4.0;
+        assert_eq!(spec.n_a2a, expect);
+        assert_eq!(spec.n_ag, spec.n_a2a);
+        assert_eq!(spec.n_rs, spec.n_a2a);
+    }
+
+    #[test]
+    fn mixtral_has_more_flops_than_gpt() {
+        let base = MoeConfig::builder()
+            .embed_dim(64)
+            .hidden_dim(128)
+            .ffn(FfnKind::Gpt)
+            .build()
+            .unwrap();
+        let mix = MoeConfig::builder()
+            .embed_dim(64)
+            .hidden_dim(128)
+            .ffn(FfnKind::Mixtral)
+            .build()
+            .unwrap();
+        let sg = MoeLayerSpec::from_config(&base, dims());
+        let sm = MoeLayerSpec::from_config(&mix, dims());
+        assert!((sm.n_exp / sg.n_exp - 1.5).abs() < 1e-9);
+        assert_eq!(sg.gemms, 2);
+        assert_eq!(sm.gemms, 3);
+    }
+
+    #[test]
+    fn backward_doubles_compute_only() {
+        let c = MoeConfig::builder().build().unwrap();
+        let f = MoeLayerSpec::from_config(&c, dims());
+        let b = f.backward();
+        assert_eq!(b.n_exp, 2.0 * f.n_exp);
+        assert_eq!(b.n_a2a, f.n_a2a);
+        assert_eq!(b.n_ag, f.n_ag);
+    }
+
+    #[test]
+    fn param_bytes_divide_by_ep_and_esp() {
+        let c = MoeConfig::builder()
+            .embed_dim(16)
+            .hidden_dim(32)
+            .num_experts(6)
+            .top_k(2)
+            .build()
+            .unwrap();
+        let spec = MoeLayerSpec::from_config(&c, dims());
+        // 6 experts over ep=6 → 1 expert per GPU, sharded 8 ways
+        let expect = c.params_per_expert() as f64 / 8.0 * 4.0;
+        assert!((spec.moe_param_bytes - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests over the gate families: routing invariants that
+//! must hold for any input, any gate, any capacity.
+
+use fsmoe::gate::{ExpertChoiceGate, GShardGate, Gate, SigmoidGate, SoftMoeGate, XMoeGate};
+use fsmoe::order::{GShardOrdering, OrderFn, TutelOrdering};
+use proptest::prelude::*;
+use tensor::TensorRng;
+
+fn gates(embed: usize, experts: usize, k: usize, seed: u64) -> Vec<Box<dyn Gate>> {
+    let mut rng = TensorRng::seed_from(seed);
+    vec![
+        Box::new(GShardGate::new(embed, experts, k, &mut rng)),
+        Box::new(SigmoidGate::new(embed, experts, k, &mut rng)),
+        Box::new(XMoeGate::new(embed, (embed / 2).max(2), experts, k, &mut rng)),
+        Box::new(SoftMoeGate::new(embed, experts, k, &mut rng)),
+        Box::new(ExpertChoiceGate::new(embed, experts, &mut rng)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_gates_produce_valid_routings(
+        tokens in 1usize..24,
+        experts in 2usize..6,
+        capacity in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let embed = 8usize;
+        let k = 2.min(experts);
+        let mut rng = TensorRng::seed_from(seed);
+        let input = rng.normal(&[tokens, embed], 0.0, 1.0);
+        for gate in gates(embed, experts, k, seed) {
+            let mut route_rng = TensorRng::seed_from(1);
+            let routing = gate.route(&input, capacity, &mut route_rng).unwrap();
+            // capacity respected for every expert
+            for load in routing.expert_loads() {
+                prop_assert!(load <= capacity, "{}: load {load} > {capacity}", gate.name());
+            }
+            // every assignment indexes a real token/expert with a finite,
+            // non-negative weight; slots unique per expert
+            let mut seen = std::collections::HashSet::new();
+            for a in routing.assignments() {
+                prop_assert!(a.token < tokens);
+                prop_assert!(a.expert < experts);
+                prop_assert!(a.slot < capacity);
+                prop_assert!(a.weight.is_finite() && a.weight >= 0.0);
+                prop_assert!(seen.insert((a.expert, a.slot)),
+                    "{}: duplicate slot", gate.name());
+            }
+            prop_assert!(routing.drop_rate() >= 0.0 && routing.drop_rate() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn token_choice_gates_assign_each_token_at_most_k_times(
+        tokens in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let (embed, experts, k) = (8usize, 4usize, 2usize);
+        let mut rng = TensorRng::seed_from(seed);
+        let input = rng.normal(&[tokens, embed], 0.0, 1.0);
+        // all but the expert-choice gate are token-choice
+        for gate in gates(embed, experts, k, seed).into_iter().take(4) {
+            let mut route_rng = TensorRng::seed_from(2);
+            let routing = gate.route(&input, 1000, &mut route_rng).unwrap();
+            let mut per_token = vec![0usize; tokens];
+            for a in routing.assignments() {
+                per_token[a.token] += 1;
+            }
+            for (t, &count) in per_token.iter().enumerate() {
+                prop_assert!(count <= k, "{}: token {t} assigned {count} times", gate.name());
+            }
+        }
+    }
+
+    #[test]
+    fn orderings_agree_for_every_gate(
+        tokens in 1usize..16,
+        capacity in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let (embed, experts, k) = (8usize, 3usize, 2usize);
+        let mut rng = TensorRng::seed_from(seed);
+        let input = rng.normal(&[tokens, embed], 0.0, 1.0);
+        let gshard = GShardOrdering::new();
+        let tutel = TutelOrdering::new();
+        for gate in gates(embed, experts, k, seed) {
+            let mut route_rng = TensorRng::seed_from(3);
+            let routing = gate.route(&input, capacity, &mut route_rng).unwrap();
+            let a = gshard.order(&input, &routing).unwrap();
+            let b = tutel.order(&input, &routing).unwrap();
+            prop_assert!(a.allclose(&b, 1e-5), "{}: orderings diverged", gate.name());
+            let out_a = gshard.inverse(&a, &routing).unwrap();
+            let out_b = tutel.inverse(&b, &routing).unwrap();
+            prop_assert!(out_a.allclose(&out_b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn expert_choice_is_perfectly_balanced(
+        tokens in 4usize..32,
+        experts in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let embed = 8usize;
+        let mut rng = TensorRng::seed_from(seed);
+        let gate = ExpertChoiceGate::new(embed, experts, &mut rng);
+        let input = rng.normal(&[tokens, embed], 0.0, 1.0);
+        let capacity = (tokens / 2).max(1);
+        let mut route_rng = TensorRng::seed_from(4);
+        let routing = gate.route(&input, capacity, &mut route_rng).unwrap();
+        let loads = routing.expert_loads();
+        prop_assert!(loads.iter().all(|&l| l == capacity.min(tokens)));
+        prop_assert_eq!(routing.load_imbalance(), 0.0);
+    }
+}

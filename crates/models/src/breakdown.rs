@@ -1,0 +1,153 @@
+//! Per-operation time breakdown of a transformer layer (Table 2).
+
+use scheduler::{MoePerfModel, Phase};
+use serde::{Deserialize, Serialize};
+use simnet::OpCosts;
+
+use crate::layerspec::{attention_backward_time, attention_forward_time, TransformerLayerSpec};
+
+/// One row of the Table 2 breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Operation label.
+    pub op: String,
+    /// Time, ms.
+    pub time: f64,
+    /// Share of the phase total.
+    pub share: f64,
+}
+
+/// The full per-phase breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerBreakdown {
+    /// Rows in the paper's column order.
+    pub rows: Vec<BreakdownRow>,
+    /// Phase total, ms.
+    pub total: f64,
+}
+
+/// Effective memory bandwidth assumed for the (memory-bound) ordering
+/// step, bytes/ms. 400 GB/s ≈ mid-range HBM after scatter inefficiency.
+const ORDER_BYTES_PER_MS: f64 = 4.0e8;
+
+/// Computes the Table 2 per-op times for one transformer layer.
+///
+/// `routing_flops` prices the gate GEMM; the ordering step is modelled
+/// as memory-bound on the dispatched bytes.
+pub fn layer_breakdown(
+    costs: &OpCosts,
+    spec: &TransformerLayerSpec,
+    routing_flops: f64,
+    phase: Phase,
+) -> LayerBreakdown {
+    let moe = &spec.moe;
+    let m = MoePerfModel::new(
+        costs, moe.n_a2a, moe.n_ag, moe.n_rs, moe.n_exp, moe.gemms, phase, 0.0,
+    );
+    let a2a = 2.0 * m.t_a2a(1);
+    let ag = m.t_ag(1);
+    let rs = m.t_rs(1);
+    let experts = m.t_exp(1);
+    let routing = costs.gemm.alpha + routing_flops * costs.gemm.beta;
+    let order_factor = if phase == Phase::Backward { 2.0 } else { 1.0 };
+    let order = order_factor * moe.n_a2a / ORDER_BYTES_PER_MS;
+    let attention = match phase {
+        Phase::Forward => attention_forward_time(costs, spec),
+        Phase::Backward => attention_backward_time(costs, spec),
+    };
+    let all_reduce = match phase {
+        Phase::Forward => 0.0,
+        Phase::Backward => costs.all_reduce.time(spec.dense_param_bytes),
+    };
+
+    let rows_raw = [
+        ("AlltoAll", a2a),
+        ("AllReduce", all_reduce),
+        ("AllGather", ag),
+        ("ReduceScatter", rs),
+        ("Experts", experts),
+        ("Routing", routing),
+        ("Order", order),
+        ("Attention", attention),
+    ];
+    let total: f64 = rows_raw.iter().map(|r| r.1).sum();
+    let rows = rows_raw
+        .iter()
+        .map(|&(op, time)| BreakdownRow {
+            op: op.to_string(),
+            time,
+            share: if total > 0.0 { time / total } else { 0.0 },
+        })
+        .collect();
+    LayerBreakdown { rows, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::ModelPreset;
+    use simnet::Testbed;
+
+    fn gpt2_breakdown(phase: Phase) -> LayerBreakdown {
+        let tb = Testbed::a();
+        let preset = ModelPreset::gpt2_xl_moe().with_batch_size(4);
+        let spec = preset.layer_spec(&tb).unwrap();
+        let cfg = preset.moe_config(&tb).unwrap();
+        let routing_flops = 2.0 * cfg.tokens() as f64 * cfg.embed_dim as f64 * 6.0;
+        layer_breakdown(&tb.costs, &spec, routing_flops, phase)
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for phase in [Phase::Forward, Phase::Backward] {
+            let b = gpt2_breakdown(phase);
+            let sum: f64 = b.rows.iter().map(|r| r.share).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_has_no_allreduce() {
+        let b = gpt2_breakdown(Phase::Forward);
+        let ar = b.rows.iter().find(|r| r.op == "AllReduce").unwrap();
+        assert_eq!(ar.time, 0.0);
+        let ar_b = gpt2_breakdown(Phase::Backward);
+        let ar_b = ar_b.rows.iter().find(|r| r.op == "AllReduce").unwrap();
+        assert!(ar_b.time > 0.0);
+    }
+
+    #[test]
+    fn communication_dominates_like_table2() {
+        // Table 2's headline: communication > 50 % of the layer time
+        let b = gpt2_breakdown(Phase::Forward);
+        let comm: f64 = b
+            .rows
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.op.as_str(),
+                    "AlltoAll" | "AllReduce" | "AllGather" | "ReduceScatter"
+                )
+            })
+            .map(|r| r.share)
+            .sum();
+        assert!(comm > 0.5, "communication share {comm}");
+    }
+
+    #[test]
+    fn routing_and_order_are_minor() {
+        // Table 2: routing ≤ 0.5 %, order ≤ ~2 %
+        let b = gpt2_breakdown(Phase::Forward);
+        let routing = b.rows.iter().find(|r| r.op == "Routing").unwrap();
+        let order = b.rows.iter().find(|r| r.op == "Order").unwrap();
+        assert!(routing.share < 0.05, "routing {}", routing.share);
+        assert!(order.share < 0.10, "order {}", order.share);
+    }
+
+    #[test]
+    fn backward_is_slower_than_forward() {
+        let f = gpt2_breakdown(Phase::Forward);
+        let b = gpt2_breakdown(Phase::Backward);
+        assert!(b.total > f.total);
+    }
+}

@@ -1,0 +1,205 @@
+//! Real-world model presets (paper §6.4).
+//!
+//! Only the layer *shapes* matter for scheduling — the embedding size,
+//! expert hidden size, head count and layer count; the values follow the
+//! public model cards of the models the paper trains (GPT-2 XL, Mixtral
+//! 8×7B, Mixtral 8×22B). Layer counts are overridable because the paper
+//! shrinks them to fit the testbeds (Mixtral-7B runs with 7 layers on
+//! Testbed B; Mixtral-22B with 33 layers on Testbed A).
+
+use collectives::ParallelDims;
+use fsmoe::config::{FfnKind, MoeConfig};
+use serde::{Deserialize, Serialize};
+use simnet::Testbed;
+
+use crate::layerspec::TransformerLayerSpec;
+
+/// A named model shape plus experiment-level knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelPreset {
+    /// Human-readable name.
+    pub name: String,
+    /// Token embedding size `M`.
+    pub embed_dim: usize,
+    /// Expert hidden size `H`.
+    pub hidden_dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer (MoE) layers.
+    pub layers: usize,
+    /// Expert architecture.
+    pub ffn: FfnKind,
+    /// Samples per GPU.
+    pub batch_size: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Experts per token.
+    pub top_k: usize,
+    /// Capacity factor.
+    pub capacity_factor: f64,
+}
+
+impl ModelPreset {
+    /// GPT2-XL with its feed-forward layers replaced by MoE (the paper's
+    /// "MoE model based on GPT-2"): M = 1600, H = 6400, 25 heads.
+    pub fn gpt2_xl_moe() -> Self {
+        ModelPreset {
+            name: "GPT2-XL-MoE".into(),
+            embed_dim: 1600,
+            hidden_dim: 6400,
+            heads: 25,
+            layers: 12,
+            ffn: FfnKind::Gpt,
+            batch_size: 1,
+            seq_len: 1024,
+            top_k: 2,
+            capacity_factor: 1.2,
+        }
+    }
+
+    /// Mixtral 8×7B: M = 4096, H = 14336, 32 heads, SwiGLU experts.
+    pub fn mixtral_7b() -> Self {
+        ModelPreset {
+            name: "Mixtral-7B".into(),
+            embed_dim: 4096,
+            hidden_dim: 14336,
+            heads: 32,
+            layers: 7,
+            ffn: FfnKind::Mixtral,
+            batch_size: 1,
+            seq_len: 1024,
+            top_k: 2,
+            capacity_factor: 1.2,
+        }
+    }
+
+    /// Mixtral 8×22B: M = 6144, H = 16384, 48 heads.
+    pub fn mixtral_22b() -> Self {
+        ModelPreset {
+            name: "Mixtral-22B".into(),
+            embed_dim: 6144,
+            hidden_dim: 16384,
+            heads: 48,
+            layers: 33,
+            ffn: FfnKind::Mixtral,
+            batch_size: 1,
+            seq_len: 1024,
+            top_k: 2,
+            capacity_factor: 1.2,
+        }
+    }
+
+    /// Overrides the layer count (the paper trims models per testbed).
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Overrides the sequence length (Fig. 7 varies L).
+    pub fn with_seq_len(mut self, seq_len: usize) -> Self {
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// Overrides the per-GPU batch size (Table 2 uses B = 4).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// The paper's parallel layout on a testbed: `N_MP = N_ESP =`
+    /// GPUs/node, `N_EP = N_DP = ` node count, experts = nodes (§6.4).
+    pub fn dims_for(testbed: &Testbed) -> ParallelDims {
+        ParallelDims {
+            dp: testbed.nodes,
+            mp: testbed.gpus_per_node,
+            ep: testbed.nodes,
+            esp: testbed.gpus_per_node,
+        }
+    }
+
+    /// The per-layer MoE configuration on a testbed (one expert per
+    /// node, as in the paper's end-to-end runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn moe_config(&self, testbed: &Testbed) -> fsmoe::Result<MoeConfig> {
+        MoeConfig::builder()
+            .batch_size(self.batch_size)
+            .seq_len(self.seq_len)
+            .embed_dim(self.embed_dim)
+            .hidden_dim(self.hidden_dim)
+            .num_experts(testbed.nodes)
+            .top_k(self.top_k.min(testbed.nodes))
+            .capacity_factor(self.capacity_factor)
+            .ffn(self.ffn)
+            .build()
+    }
+
+    /// The per-layer workload spec on a testbed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn layer_spec(&self, testbed: &Testbed) -> fsmoe::Result<TransformerLayerSpec> {
+        let config = self.moe_config(testbed)?;
+        Ok(TransformerLayerSpec::new(
+            &config,
+            Self::dims_for(testbed),
+            self.heads,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shapes_match_model_cards() {
+        let gpt = ModelPreset::gpt2_xl_moe();
+        assert_eq!(gpt.embed_dim, 1600);
+        assert_eq!(gpt.hidden_dim, 4 * 1600);
+        assert_eq!(gpt.ffn, FfnKind::Gpt);
+
+        let m7 = ModelPreset::mixtral_7b();
+        assert_eq!(m7.embed_dim, 4096);
+        assert_eq!(m7.hidden_dim, 14336);
+        assert_eq!(m7.ffn, FfnKind::Mixtral);
+
+        let m22 = ModelPreset::mixtral_22b();
+        assert_eq!(m22.embed_dim, 6144);
+    }
+
+    #[test]
+    fn dims_follow_paper_deployment() {
+        let a = Testbed::a();
+        let d = ModelPreset::dims_for(&a);
+        assert_eq!(d.mp, 8);
+        assert_eq!(d.esp, 8);
+        assert_eq!(d.ep, 6);
+        assert_eq!(d.dp, 6);
+        assert_eq!(d.mp * d.dp, a.world_size());
+        assert_eq!(d.ep * d.esp, a.world_size());
+    }
+
+    #[test]
+    fn overrides_chain() {
+        let p = ModelPreset::mixtral_7b()
+            .with_layers(7)
+            .with_seq_len(256)
+            .with_batch_size(4);
+        assert_eq!(p.layers, 7);
+        assert_eq!(p.seq_len, 256);
+        assert_eq!(p.batch_size, 4);
+    }
+
+    #[test]
+    fn moe_config_uses_one_expert_per_node() {
+        let b = Testbed::b();
+        let cfg = ModelPreset::gpt2_xl_moe().moe_config(&b).unwrap();
+        assert_eq!(cfg.num_experts, 8);
+        assert_eq!(cfg.top_k, 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! 1-D minimisation for the pipeline-degree objectives.
+//!
+//! Algorithm 1 in the paper hands four objectives `f1..f4` to an SLSQP
+//! solver. Each is a function of the single relaxed variable `r ≥ 1` of
+//! the form `a·r + b/r + c` (unimodal/convex on `r > 0`), so an exact 1-D
+//! method is sufficient: golden-section search narrows the continuous
+//! minimiser, then [`integer_argmin`] evaluates the admissible integer
+//! degrees around it, because the deployed pipeline degree must be an
+//! integer chunk count.
+
+use crate::{OptError, Result};
+
+/// Result of a golden-section search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenResult {
+    /// Location of the (approximate) minimiser.
+    pub x: f64,
+    /// Objective value at [`GoldenResult::x`].
+    pub value: f64,
+}
+
+/// Minimises a unimodal `f` on `[lo, hi]` by golden-section search.
+///
+/// # Errors
+///
+/// Returns [`OptError::BadInterval`] when `lo > hi` or either bound is
+/// non-finite, and [`OptError::NonFiniteObjective`] if `f` returns NaN/∞
+/// at a probe point.
+///
+/// # Example
+///
+/// ```
+/// let r = numopt::minimize_golden(|x| (x - 3.0).powi(2), 0.0, 10.0, 1e-9).unwrap();
+/// assert!((r.x - 3.0).abs() < 1e-6);
+/// ```
+pub fn minimize_golden<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<GoldenResult> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(OptError::BadInterval { lo, hi });
+    }
+    let eval = |x: f64| -> Result<f64> {
+        let v = f(x);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(OptError::NonFiniteObjective { at: x })
+        }
+    };
+    if hi - lo < tol {
+        let mid = 0.5 * (lo + hi);
+        return Ok(GoldenResult {
+            x: mid,
+            value: eval(mid)?,
+        });
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = eval(c)?;
+    let mut fd = eval(d)?;
+    // 200 iterations shrink the interval by phi^200 — far below any tol we
+    // use; the loop normally exits on the tolerance check.
+    for _ in 0..200 {
+        if b - a <= tol {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = eval(c)?;
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = eval(d)?;
+        }
+    }
+    let x = 0.5 * (a + b);
+    Ok(GoldenResult {
+        x,
+        value: eval(x)?,
+    })
+}
+
+/// Finds the best integer in `[lo, hi]` near a continuous minimiser.
+///
+/// Evaluates `f` at every integer in the window `[⌊x*⌋ − 1, ⌈x*⌉ + 1]`
+/// clamped to `[lo, hi]`, plus the interval endpoints, and returns the
+/// argmin. For a unimodal objective this is exact.
+///
+/// # Errors
+///
+/// Returns [`OptError::BadInterval`] when `lo > hi`.
+pub fn integer_argmin<F: Fn(u32) -> f64>(
+    f: F,
+    continuous_x: f64,
+    lo: u32,
+    hi: u32,
+) -> Result<(u32, f64)> {
+    if lo > hi {
+        return Err(OptError::BadInterval {
+            lo: lo as f64,
+            hi: hi as f64,
+        });
+    }
+    let center = continuous_x.round().max(lo as f64).min(hi as f64) as u32;
+    let mut candidates = vec![lo, hi, center];
+    if center > lo {
+        candidates.push(center - 1);
+    }
+    if center < hi {
+        candidates.push(center + 1);
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut best = (candidates[0], f(candidates[0]));
+    for &c in &candidates[1..] {
+        let v = f(c);
+        if v < best.1 {
+            best = (c, v);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_minimum() {
+        let r = minimize_golden(|x| (x - 4.2).powi(2) + 1.0, 0.0, 100.0, 1e-10).unwrap();
+        assert!((r.x - 4.2).abs() < 1e-5);
+        assert!((r.value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_handles_hyperbolic_plus_linear() {
+        // a*r + b/r has minimiser sqrt(b/a) — the shape of every pipeline
+        // objective in the paper.
+        let (a, b) = (2.0, 32.0);
+        let r = minimize_golden(|x| a * x + b / x, 0.5, 64.0, 1e-10).unwrap();
+        assert!((r.x - (b / a).sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn golden_boundary_minimum() {
+        // monotone increasing: minimiser is the lower bound
+        let r = minimize_golden(|x| x, 1.0, 9.0, 1e-10).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_rejects_bad_interval() {
+        assert!(minimize_golden(|x| x, 2.0, 1.0, 1e-6).is_err());
+        assert!(minimize_golden(|x| x, f64::NAN, 1.0, 1e-6).is_err());
+    }
+
+    #[test]
+    fn golden_rejects_non_finite_objective() {
+        let err = minimize_golden(|_| f64::NAN, 0.0, 1.0, 1e-6);
+        assert!(matches!(err, Err(OptError::NonFiniteObjective { .. })));
+    }
+
+    #[test]
+    fn golden_degenerate_interval() {
+        let r = minimize_golden(|x| x * x, 3.0, 3.0, 1e-6).unwrap();
+        assert_eq!(r.x, 3.0);
+    }
+
+    #[test]
+    fn integer_argmin_exact_on_unimodal() {
+        // exhaustive check: integer refinement finds the true argmin over a
+        // range of hyperbolic objectives
+        for b in [1.0f64, 5.0, 17.0, 64.0, 300.0] {
+            let f = |r: u32| 1.5 * r as f64 + b / r as f64;
+            let cont = (b / 1.5).sqrt();
+            let (best_r, best_v) = integer_argmin(f, cont, 1, 64).unwrap();
+            let (exh_r, exh_v) = (1..=64u32)
+                .map(|r| (r, f(r)))
+                .min_by(|a, bb| a.1.partial_cmp(&bb.1).unwrap())
+                .unwrap();
+            assert_eq!(best_r, exh_r, "b = {b}");
+            assert!((best_v - exh_v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn integer_argmin_clamps_to_bounds() {
+        let (r, _) = integer_argmin(|r| r as f64, 1000.0, 1, 8).unwrap();
+        assert_eq!(r, 1);
+        let (r, _) = integer_argmin(|r| -(r as f64), -5.0, 1, 8).unwrap();
+        assert_eq!(r, 8);
+    }
+
+    #[test]
+    fn integer_argmin_rejects_inverted_bounds() {
+        assert!(integer_argmin(|_| 0.0, 1.0, 5, 2).is_err());
+    }
+}

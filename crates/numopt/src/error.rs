@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Input slices were empty or of mismatched length.
+    BadInput {
+        /// Description of what was wrong.
+        reason: String,
+    },
+    /// The search interval was empty or inverted.
+    BadInterval {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// The objective returned a non-finite value.
+    NonFiniteObjective {
+        /// Point at which the objective misbehaved.
+        at: f64,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::BadInput { reason } => write!(f, "bad input: {reason}"),
+            OptError::BadInterval { lo, hi } => {
+                write!(f, "bad search interval [{lo}, {hi}]")
+            }
+            OptError::NonFiniteObjective { at } => {
+                write!(f, "objective returned a non-finite value at {at}")
+            }
+        }
+    }
+}
+
+impl Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            OptError::BadInput {
+                reason: "empty".into(),
+            },
+            OptError::BadInterval { lo: 2.0, hi: 1.0 },
+            OptError::NonFiniteObjective { at: 0.0 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

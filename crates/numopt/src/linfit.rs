@@ -1,0 +1,168 @@
+use crate::{OptError, Result};
+
+/// An ordinary-least-squares fit of `y = intercept + slope · x`.
+///
+/// This is exactly the model class the paper fits for every task time
+/// (§4.1, Eq. 1): `t = α + n·β` with `α` the startup latency and `β` the
+/// per-byte (or per-FLOP) cost. [`LinearFit::r_squared`] reproduces the r²
+/// values quoted for Fig. 5 (0.9987 for GEMM, >0.9999 for the collectives).
+///
+/// ```
+/// use numopt::LinearFit;
+///
+/// let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 0.5 + 3.0 * x).collect();
+/// let fit = LinearFit::fit(&xs, &ys).unwrap();
+/// assert!((fit.intercept - 0.5).abs() < 1e-9);
+/// assert!((fit.slope - 3.0).abs() < 1e-9);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Estimated intercept (the α/startup term).
+    pub intercept: f64,
+    /// Estimated slope (the β/per-unit term).
+    pub slope: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits the model to paired observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::BadInput`] when the slices are empty, have
+    /// mismatched lengths, fewer than two points, or zero variance in `x`.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(OptError::BadInput {
+                reason: format!("length mismatch: {} vs {}", xs.len(), ys.len()),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(OptError::BadInput {
+                reason: "need at least two points".into(),
+            });
+        }
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+        if sxx == 0.0 {
+            return Err(OptError::BadInput {
+                reason: "x values have zero variance".into(),
+            });
+        }
+        let sxy: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+            .sum();
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(LinearFit {
+            intercept,
+            slope,
+            r_squared,
+        })
+    }
+
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Inverse prediction: the `x` whose predicted `y` equals `y`.
+    ///
+    /// This is the paper's `g⁻¹(t) = (t − α)/β` (§5.1) used to convert an
+    /// overlappable time window back into a gradient byte budget. Returns
+    /// 0 when the slope is 0 (degenerate model).
+    pub fn invert(&self, y: f64) -> f64 {
+        if self.slope == 0.0 {
+            0.0
+        } else {
+            (y - self.intercept) / self.slope
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_noiseless_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 7.0 + 0.25 * x).collect();
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.intercept - 7.0).abs() < 1e-9);
+        assert!((f.slope - 0.25).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_robust_to_symmetric_noise() {
+        // deterministic +/- alternating noise averages out
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 + 5.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.slope - 5.0).abs() < 0.01);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(LinearFit::fit(&[], &[]).is_err());
+        assert!(LinearFit::fit(&[1.0], &[1.0]).is_err());
+        assert!(LinearFit::fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(LinearFit::fit(&[3.0, 3.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn predict_and_invert_are_inverse() {
+        let f = LinearFit {
+            intercept: 0.3,
+            slope: 2.0,
+            r_squared: 1.0,
+        };
+        for x in [0.0, 1.5, 100.0] {
+            assert!((f.invert(f.predict(x)) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invert_degenerate_slope_is_zero() {
+        let f = LinearFit {
+            intercept: 1.0,
+            slope: 0.0,
+            r_squared: 0.0,
+        };
+        assert_eq!(f.invert(5.0), 0.0);
+    }
+
+    #[test]
+    fn constant_y_has_perfect_r2() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [4.0, 4.0, 4.0];
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Real wall-clock profiling of this machine's tensor ops.
+//!
+//! This is the genuine "online profiling" path (§3.2): when the library
+//! lands on new hardware, it measures the actual GEMM implementation
+//! over a size sweep and fits the α–β model — no prior knowledge of the
+//! kernel needed. On this reproduction the "device" is the CPU and the
+//! kernel is `tensor::Tensor::matmul`, but the pipeline is identical to
+//! what the paper runs against CUDA.
+
+use std::time::Instant;
+
+use tensor::TensorRng;
+
+use crate::{fit_cost_model, FittedModel};
+
+/// One measured GEMM point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmSample {
+    /// Square-matrix dimension.
+    pub dim: usize,
+    /// FLOPs of the multiply (`2·dim³`).
+    pub flops: f64,
+    /// Measured wall time, ms.
+    pub millis: f64,
+}
+
+/// Times square GEMMs of the given dimensions (`runs` repetitions each,
+/// best-of to suppress scheduler noise) and returns the samples.
+pub fn measure_gemm(dims: &[usize], runs: usize) -> Vec<GemmSample> {
+    let mut rng = TensorRng::seed_from(0xBEEF);
+    dims.iter()
+        .map(|&d| {
+            let a = rng.uniform(&[d, d], -1.0, 1.0);
+            let b = rng.uniform(&[d, d], -1.0, 1.0);
+            let mut best = f64::INFINITY;
+            for _ in 0..runs.max(1) {
+                let start = Instant::now();
+                let c = a.matmul(&b).expect("square matmul");
+                // keep the result observable so the multiply cannot be
+                // optimised away
+                std::hint::black_box(c.data()[0]);
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+            GemmSample {
+                dim: d,
+                flops: 2.0 * (d as f64).powi(3),
+                millis: best,
+            }
+        })
+        .collect()
+}
+
+/// Measures and fits this machine's GEMM performance model.
+///
+/// # Errors
+///
+/// Propagates fit errors for degenerate dimension lists.
+pub fn profile_cpu_gemm(dims: &[usize], runs: usize) -> numopt::Result<FittedModel> {
+    let samples = measure_gemm(dims, runs);
+    fit_cost_model(
+        &samples
+            .iter()
+            .map(|s| (s.flops, s.millis))
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_gemm_times_grow_with_size() {
+        let samples = measure_gemm(&[16, 64, 128], 3);
+        assert_eq!(samples.len(), 3);
+        assert!(samples[2].millis > samples[0].millis);
+        assert!(samples.iter().all(|s| s.millis > 0.0));
+    }
+
+    #[test]
+    fn linear_model_fits_real_gemm_reasonably() {
+        // cubic-in-dim = linear-in-FLOPs; r² should be high even on a
+        // noisy shared machine
+        let fitted = profile_cpu_gemm(&[32, 48, 64, 96, 128, 160], 3).unwrap();
+        assert!(
+            fitted.r_squared > 0.9,
+            "r² = {} — linear-in-FLOPs fit should hold",
+            fitted.r_squared
+        );
+        assert!(fitted.model.beta > 0.0);
+    }
+
+    #[test]
+    fn degenerate_dims_error() {
+        assert!(profile_cpu_gemm(&[], 1).is_err());
+        assert!(profile_cpu_gemm(&[32], 1).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! FSMoE's task scheduler: the paper's core contribution (§4–§5).
+//!
+//! Three pieces:
+//!
+//! * [`perf`] — the α–β performance models of every time-consuming task,
+//!   specialised per phase (backward doubles the expert workload, §4.4);
+//! * [`optimize`] — the four-case pipeline-degree optimizer
+//!   (Algorithm 1): predicates **Q1–Q7** classify which resource
+//!   dominates, each case has a closed-form makespan `t_i(r)`, and the
+//!   optimal integer pipeline degree is the feasible argmin;
+//! * [`gradient`] — the §5 adaptive gradient partitioner: step 1 fills
+//!   each generalized layer's *overlappable window* with gradient bytes
+//!   via the inverse AllReduce model, step 2 assigns the remainder by
+//!   differential evolution;
+//! * [`lowering`] — turns a chosen schedule into a `simnet::TaskGraph`
+//!   over three streams (compute / intra-node link / inter-node link) so
+//!   makespans come from simulation, not from trusting the closed forms.
+//!
+//! The invariant the tests enforce: the optimizer's chosen `r` is never
+//! worse (in simulated makespan) than any other `r` by more than the
+//! model-vs-simulation gap, and on each case's interior the closed form
+//! equals the simulated makespan.
+
+pub mod cases;
+pub mod dispatch_cost;
+pub mod gradient;
+pub mod lowering;
+pub mod optimize;
+pub mod perf;
+
+pub use cases::{t_moe, t_olp_moe, CaseId, Predicates};
+pub use dispatch_cost::{a2a_cost, best_a2a_algorithm, A2aAlgorithm, A2aCost};
+pub use gradient::{partition_gradients, GeneralizedLayer, GradientPartition};
+pub use lowering::{lower_fsmoe_schedule, LoweredSchedule, StreamSet};
+pub use optimize::{exhaustive_best, find_optimal_pipeline_degree, PipelineSolution, MAX_PIPELINE_DEGREE};
+pub use perf::{MoePerfModel, Phase};

@@ -1,0 +1,142 @@
+//! Property-based tests for the scheduler: the optimizer, case
+//! classification and gradient partitioning over randomised workloads.
+
+use numopt::DeConfig;
+use proptest::prelude::*;
+use scheduler::{
+    exhaustive_best, find_optimal_pipeline_degree, partition_gradients, t_moe, t_olp_moe,
+    CaseId, GeneralizedLayer, MoePerfModel, Phase, Predicates, MAX_PIPELINE_DEGREE,
+};
+use simnet::{CostModel, OpCosts};
+
+fn costs(a2a_beta: f64, intra_beta: f64) -> OpCosts {
+    OpCosts {
+        gemm: CostModel::new(0.05, 1.0e-11),
+        a2a: CostModel::new(0.2, a2a_beta),
+        all_gather: CostModel::new(0.05, intra_beta),
+        reduce_scatter: CostModel::new(0.05, intra_beta),
+        all_reduce: CostModel::new(0.1, 6.0e-7),
+    }
+}
+
+fn model(a2a_beta: f64, intra_beta: f64, n_a2a: f64, n_exp: f64, t_gar: f64) -> MoePerfModel {
+    MoePerfModel::new(
+        &costs(a2a_beta, intra_beta),
+        n_a2a,
+        n_a2a,
+        n_a2a,
+        n_exp,
+        2,
+        Phase::Backward,
+        t_gar,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_configuration_classifies_to_exactly_one_case(
+        n_a2a in 1.0e4f64..1.0e8,
+        n_exp in 1.0e6f64..1.0e12,
+        t_gar in 0.0f64..100.0,
+        r in 1u32..=64,
+    ) {
+        let m = model(3.0e-7, 1.5e-7, n_a2a, n_exp, t_gar);
+        let p = Predicates::evaluate(&m, r);
+        // case() is total; calling twice is deterministic
+        prop_assert_eq!(p.case(), Predicates::evaluate(&m, r).case());
+        // and the objective at the active case is finite and positive
+        let (t, case) = t_moe(&m, r);
+        prop_assert!(t.is_finite() && t > 0.0, "case {case} gave {t}");
+    }
+
+    #[test]
+    fn algorithm1_never_beats_and_rarely_trails_exhaustive(
+        n_a2a in 1.0e5f64..5.0e7,
+        n_exp in 1.0e7f64..1.0e11,
+        t_gar in 0.0f64..50.0,
+    ) {
+        let m = model(3.0e-7, 1.5e-7, n_a2a, n_exp, t_gar);
+        let alg = find_optimal_pipeline_degree(&m);
+        let exact = exhaustive_best(&m);
+        prop_assert!(alg.t_moe >= exact.t_moe - 1e-9);
+        prop_assert!(alg.t_moe <= exact.t_moe * 1.10 + 1e-9,
+            "alg {:?} vs exact {:?}", alg, exact);
+        prop_assert!((1..=MAX_PIPELINE_DEGREE).contains(&alg.r));
+    }
+
+    #[test]
+    fn t_moe_dominates_component_lower_bounds(
+        n_a2a in 1.0e5f64..5.0e7,
+        n_exp in 1.0e7f64..1.0e11,
+        t_gar in 0.0f64..50.0,
+        r in 1u32..=16,
+    ) {
+        // any schedule must pay at least the inter-node busy time and at
+        // least the pipelined compute time
+        let m = model(3.0e-7, 1.5e-7, n_a2a, n_exp, t_gar);
+        let (t, _) = t_moe(&m, r);
+        let inter_busy = 2.0 * f64::from(r) * m.t_a2a(r) + m.t_gar;
+        let compute = f64::from(r) * m.t_exp(r);
+        prop_assert!(t >= inter_busy.min(compute) - 1e-9);
+    }
+
+    #[test]
+    fn overlappable_window_is_nonnegative_and_bounded(
+        n_a2a in 1.0e5f64..5.0e7,
+        n_exp in 1.0e7f64..1.0e11,
+        r in 1u32..=16,
+    ) {
+        let m = model(3.0e-7, 1.5e-7, n_a2a, n_exp, 0.0);
+        let w = t_olp_moe(&m, r);
+        prop_assert!(w >= 0.0);
+        // the window can never exceed the layer's own makespan
+        let (t, _) = t_moe(&m, r);
+        prop_assert!(w <= t + 1e-9, "window {w} > layer time {t}");
+    }
+
+    #[test]
+    fn gradient_partition_conserves_bytes(
+        grad_a in 0.0f64..1.0e8,
+        grad_b in 0.0f64..1.0e8,
+        grad_c in 0.0f64..1.0e8,
+        dense in 0.0f64..10.0,
+        n_exp in 1.0e8f64..1.0e11,
+    ) {
+        let m = model(3.0e-7, 1.5e-7, 4.0e6, n_exp, 0.0);
+        let layers: Vec<GeneralizedLayer> = [grad_a, grad_b, grad_c]
+            .iter()
+            .map(|&g| GeneralizedLayer {
+                moe: m,
+                t_olp_dense: dense,
+                grad_bytes: g,
+            })
+            .collect();
+        let de = DeConfig { population: 6, generations: 10, seed: 1, ..DeConfig::default() };
+        let p = partition_gradients(&layers, costs(3.0e-7, 1.5e-7).all_reduce, de);
+        let total = grad_a + grad_b + grad_c;
+        prop_assert!((p.total_bytes() - total).abs() <= total * 1e-6 + 1e-6);
+        prop_assert!(p.bytes.iter().all(|&b| b >= -1e-9));
+        prop_assert!(p.t_gar.iter().all(|&t| t >= 0.0));
+        // step-1 assignments are a subset of the final assignment
+        for (s1, b) in p.step1_bytes.iter().zip(&p.bytes) {
+            prop_assert!(s1 <= &(b + 1e-6));
+        }
+    }
+
+    #[test]
+    fn case1_objective_grows_linearly_in_gar(
+        n_a2a in 1.0e5f64..1.0e7,
+        extra in 1.0f64..100.0,
+    ) {
+        // once in case 1 (huge gar), adding gar time adds exactly that
+        let m1 = model(3.0e-7, 1.5e-7, n_a2a, 1.0e7, 1.0e4);
+        let m2 = m1.with_t_gar(1.0e4 + extra);
+        let (t1, c1) = t_moe(&m1, 2);
+        let (t2, c2) = t_moe(&m2, 2);
+        prop_assert_eq!(c1, CaseId::Case1);
+        prop_assert_eq!(c2, CaseId::Case1);
+        prop_assert!((t2 - t1 - extra).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! α–β linear cost models (paper §4.1, Eq. 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A linear time model `t(n) = α + n·β`.
+///
+/// `α` is the startup (launch/latency) term in milliseconds; `β` is the
+/// marginal cost per unit of work — per byte for communication ops, per
+/// FLOP for GEMM. The paper validates this model class with r² > 0.998 on
+/// both testbeds (Fig. 5), which is what licenses simulating on it.
+///
+/// ```
+/// use simnet::CostModel;
+///
+/// let a2a = CostModel::new(0.287, 2.21e-7);
+/// assert!((a2a.time(1_000_000.0) - 0.508).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Startup time, ms.
+    pub alpha: f64,
+    /// Time per unit of work (byte or FLOP), ms.
+    pub beta: f64,
+}
+
+impl CostModel {
+    /// Creates a model from its two coefficients.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        CostModel { alpha, beta }
+    }
+
+    /// Predicted time for workload `n` (bytes or FLOPs). Zero workload
+    /// still pays the startup cost.
+    pub fn time(&self, n: f64) -> f64 {
+        self.alpha + n * self.beta
+    }
+
+    /// Predicted time for a workload split into `r` equal chunks, per
+    /// chunk: `α + (n/r)·β` — the paper's `t_{*,r}` (Eq. 1).
+    pub fn time_chunked(&self, n: f64, r: u32) -> f64 {
+        self.alpha + n / f64::from(r.max(1)) * self.beta
+    }
+
+    /// Workload that fits in a time budget: the inverse model
+    /// `g⁻¹(t) = (t − α)/β`, clamped at 0 (paper §5.1).
+    pub fn invert(&self, t: f64) -> f64 {
+        if self.beta <= 0.0 {
+            0.0
+        } else {
+            ((t - self.alpha) / self.beta).max(0.0)
+        }
+    }
+
+    /// Scales both coefficients — used for the backward phase where the
+    /// expert GEMM count doubles (§4.4 sets α, β, n to twice the forward
+    /// values).
+    pub fn scaled(&self, factor: f64) -> CostModel {
+        CostModel {
+            alpha: self.alpha * factor,
+            beta: self.beta * factor,
+        }
+    }
+}
+
+/// The full set of per-op cost models a testbed exposes.
+///
+/// Communication workloads are measured in bytes, GEMM workloads in
+/// FLOPs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCosts {
+    /// General matrix multiply (per FLOP).
+    pub gemm: CostModel,
+    /// AlltoAll dispatch/combine (inter-node when node-aligned).
+    pub a2a: CostModel,
+    /// AllGather (intra-node ESP traffic when node-aligned).
+    pub all_gather: CostModel,
+    /// ReduceScatter (intra-node ESP traffic when node-aligned).
+    pub reduce_scatter: CostModel,
+    /// AllReduce (the DP Gradient-AllReduce, inter-node).
+    pub all_reduce: CostModel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_is_affine() {
+        let m = CostModel::new(1.0, 0.5);
+        assert_eq!(m.time(0.0), 1.0);
+        assert_eq!(m.time(10.0), 6.0);
+    }
+
+    #[test]
+    fn chunked_time_pays_alpha_per_chunk() {
+        let m = CostModel::new(1.0, 1.0);
+        let n = 8.0;
+        // one chunk: 1 + 8 = 9; four chunks: each 1 + 2 = 3, total 12
+        assert_eq!(m.time_chunked(n, 1), 9.0);
+        assert_eq!(m.time_chunked(n, 4), 3.0);
+        assert_eq!(4.0 * m.time_chunked(n, 4), 12.0);
+    }
+
+    #[test]
+    fn chunked_guards_r_zero() {
+        let m = CostModel::new(1.0, 1.0);
+        assert_eq!(m.time_chunked(8.0, 0), m.time_chunked(8.0, 1));
+    }
+
+    #[test]
+    fn invert_round_trips_and_clamps() {
+        let m = CostModel::new(0.2, 2.0);
+        let n = 42.0;
+        assert!((m.invert(m.time(n)) - n).abs() < 1e-12);
+        assert_eq!(m.invert(0.1), 0.0, "below startup clamps to zero");
+        assert_eq!(CostModel::new(1.0, 0.0).invert(5.0), 0.0);
+    }
+
+    #[test]
+    fn scaled_doubles_both_terms() {
+        let m = CostModel::new(0.3, 0.7).scaled(2.0);
+        assert_eq!(m.alpha, 0.6);
+        assert_eq!(m.beta, 1.4);
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for simulator construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A task referenced an unknown task id as a dependency.
+    UnknownTask {
+        /// The offending id value.
+        id: usize,
+    },
+    /// A task referenced an unknown resource.
+    UnknownResource {
+        /// The offending id value.
+        id: usize,
+    },
+    /// A task was given a negative or non-finite duration.
+    BadDuration {
+        /// Task name.
+        task: String,
+        /// Offending duration.
+        duration: f64,
+    },
+    /// The dependency graph contains a cycle (or cross-stream deadlock
+    /// with issue-order blocking).
+    Deadlock {
+        /// Number of tasks that could not be scheduled.
+        stuck: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownTask { id } => write!(f, "unknown task id {id}"),
+            SimError::UnknownResource { id } => write!(f, "unknown resource id {id}"),
+            SimError::BadDuration { task, duration } => {
+                write!(f, "task {task:?} has invalid duration {duration}")
+            }
+            SimError::Deadlock { stuck } => {
+                write!(f, "schedule deadlocked with {stuck} tasks unscheduled")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!SimError::UnknownTask { id: 3 }.to_string().is_empty());
+        assert!(SimError::Deadlock { stuck: 2 }.to_string().contains('2'));
+    }
+}

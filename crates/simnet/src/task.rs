@@ -1,0 +1,193 @@
+//! Task-graph intermediate representation.
+//!
+//! Every schedule in the reproduction — DeepSpeed-MoE's sequential
+//! execution, Tutel/PipeMoE's pipelining, and FSMoE's inter/intra-node
+//! co-scheduling — lowers to this one IR, so simulated comparisons measure
+//! the schedules themselves.
+
+use crate::{Result, SimError};
+
+/// Identifies an exclusive execution resource (a stream or a link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) usize);
+
+impl ResourceId {
+    /// The raw index of this resource.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifies a task within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// The raw index of this task.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One unit of work bound to a resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Human-readable label (shows up in Gantt output).
+    pub name: String,
+    /// Resource the task occupies exclusively while running.
+    pub resource: ResourceId,
+    /// Duration in milliseconds.
+    pub duration: f64,
+    /// Tasks that must complete before this one starts.
+    pub deps: Vec<TaskId>,
+}
+
+/// A dependency graph of tasks over named resources.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    resources: Vec<String>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Registers a resource (stream/link) and returns its id.
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        self.resources.push(name.into());
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Appends a task. Issue order on each resource is the order of
+    /// `add_task` calls, mirroring kernel-launch order on a CUDA stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown resource, unknown dependency, or invalid
+    /// duration — these are programming errors in schedule lowering, not
+    /// runtime conditions.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        resource: ResourceId,
+        duration: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let name = name.into();
+        assert!(
+            resource.0 < self.resources.len(),
+            "unknown resource {} for task {name:?}",
+            resource.0
+        );
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "task {name:?} has invalid duration {duration}"
+        );
+        for d in deps {
+            assert!(
+                d.0 < self.tasks.len(),
+                "task {name:?} depends on unknown task {}",
+                d.0
+            );
+        }
+        self.tasks.push(Task {
+            name,
+            resource,
+            duration,
+            deps: deps.to_vec(),
+        });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// All tasks in issue order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Name of a resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownResource`] for out-of-range ids.
+    pub fn resource_name(&self, id: ResourceId) -> Result<&str> {
+        self.resources
+            .get(id.0)
+            .map(String::as_str)
+            .ok_or(SimError::UnknownResource { id: id.0 })
+    }
+
+    /// The task with id `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownTask`] for out-of-range ids.
+    pub fn task(&self, id: TaskId) -> Result<&Task> {
+        self.tasks.get(id.0).ok_or(SimError::UnknownTask { id: id.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_graph() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("compute");
+        let a = g.add_task("a", r, 1.0, &[]);
+        let b = g.add_task("b", r, 2.0, &[a]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.resource_count(), 1);
+        assert_eq!(g.task(b).unwrap().deps, vec![a]);
+        assert_eq!(g.resource_name(r).unwrap(), "compute");
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn unknown_resource_panics() {
+        let mut g = TaskGraph::new();
+        let _ = g.add_task("x", ResourceId(3), 1.0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on unknown task")]
+    fn unknown_dep_panics() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("compute");
+        let _ = g.add_task("x", r, 1.0, &[TaskId(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn bad_duration_panics() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("compute");
+        let _ = g.add_task("x", r, f64::NAN, &[]);
+    }
+
+    #[test]
+    fn lookup_errors() {
+        let g = TaskGraph::new();
+        assert!(g.task(TaskId(0)).is_err());
+        assert!(g.resource_name(ResourceId(0)).is_err());
+    }
+}

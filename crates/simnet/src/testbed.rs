@@ -1,0 +1,174 @@
+//! The paper's two evaluation clusters as calibrated presets.
+//!
+//! Every α/β constant below is taken verbatim from the captions of Fig. 5
+//! of the paper (the authors' own least-squares fits on real hardware),
+//! with one documented correction: the printed `β_ag = 2.32e-06` for
+//! Testbed A is inconsistent with Table 2, where AllGather and
+//! ReduceScatter take nearly equal time on equal-size messages
+//! (4.6 ms vs 5.4 ms); a 10× β gap would make AllGather 10× slower. We
+//! therefore read it as the typo of `2.32e-07` (matching `β_rs =
+//! 2.34e-07`). EXPERIMENTS.md records this.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CostModel, OpCosts};
+
+/// Which of the paper's clusters a preset models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestbedKind {
+    /// Testbed A: 6 nodes × 8 NVIDIA RTX A6000 (NVLink, 200 Gb/s IB).
+    A,
+    /// Testbed B: 8 nodes × 4 NVIDIA RTX 2080 Ti (PCIe, 100 Gb/s IB).
+    B,
+}
+
+impl std::fmt::Display for TestbedKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestbedKind::A => write!(f, "Testbed-A"),
+            TestbedKind::B => write!(f, "Testbed-B"),
+        }
+    }
+}
+
+/// A simulated GPU cluster: its shape and calibrated per-op cost models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Testbed {
+    /// Which paper cluster this models.
+    pub kind: TestbedKind,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Calibrated cost models (Fig. 5).
+    pub costs: OpCosts,
+}
+
+impl Testbed {
+    /// Testbed A: the 48-GPU A6000 cluster (6 nodes × 8 GPUs;
+    /// `N_MP = N_ESP = 8` in the paper's runs).
+    pub fn a() -> Self {
+        Testbed {
+            kind: TestbedKind::A,
+            nodes: 6,
+            gpus_per_node: 8,
+            costs: OpCosts {
+                gemm: CostModel::new(4.26e-2, 2.29e-11),
+                a2a: CostModel::new(2.87e-1, 2.21e-7),
+                // β corrected from the printed 2.32e-6; see module docs.
+                all_gather: CostModel::new(3.37e-1, 2.32e-7),
+                reduce_scatter: CostModel::new(3.95e-1, 2.34e-7),
+                all_reduce: CostModel::new(5.11e-1, 4.95e-7),
+            },
+        }
+    }
+
+    /// Testbed B: the 32-GPU 2080 Ti cluster (8 nodes × 4 GPUs;
+    /// `N_MP = N_ESP = 4`).
+    pub fn b() -> Self {
+        Testbed {
+            kind: TestbedKind::B,
+            nodes: 8,
+            gpus_per_node: 4,
+            costs: OpCosts {
+                gemm: CostModel::new(9.24e-2, 4.42e-11),
+                a2a: CostModel::new(1.75e-1, 3.06e-7),
+                all_gather: CostModel::new(3.20e-2, 1.68e-7),
+                reduce_scatter: CostModel::new(3.91e-2, 1.67e-7),
+                all_reduce: CostModel::new(8.37e-2, 5.99e-7),
+            },
+        }
+    }
+
+    /// Preset by kind.
+    pub fn of(kind: TestbedKind) -> Self {
+        match kind {
+            TestbedKind::A => Testbed::a(),
+            TestbedKind::B => Testbed::b(),
+        }
+    }
+
+    /// Total GPU count.
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// A copy restricted to `nodes` nodes — used for the varied-`P`
+    /// experiment (Fig. 7, P ∈ {16, 32, 48}).
+    ///
+    /// The inter-node collectives' marginal costs are rescaled by the
+    /// cross-node traffic fraction `(n−1)/n`: a ring AllReduce moves
+    /// `2(n−1)/n` of the data across links, and an AlltoAll sends
+    /// `(n−1)/n` of each buffer off-node — so fewer nodes mean cheaper
+    /// per-byte inter-node communication relative to the calibration
+    /// point (the preset's full node count).
+    pub fn with_nodes(&self, nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        let cross = |n: usize| (n.saturating_sub(1)) as f64 / n as f64;
+        let factor = if self.nodes > 1 && nodes > 1 {
+            cross(nodes) / cross(self.nodes)
+        } else {
+            1.0
+        };
+        let mut costs = self.costs;
+        costs.a2a.beta *= factor;
+        costs.all_reduce.beta *= factor;
+        Testbed {
+            nodes,
+            costs,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_shapes_match_paper() {
+        assert_eq!(Testbed::a().world_size(), 48);
+        assert_eq!(Testbed::b().world_size(), 32);
+        assert_eq!(Testbed::a().gpus_per_node, 8);
+        assert_eq!(Testbed::b().gpus_per_node, 4);
+    }
+
+    #[test]
+    fn of_round_trips() {
+        assert_eq!(Testbed::of(TestbedKind::A), Testbed::a());
+        assert_eq!(Testbed::of(TestbedKind::B), Testbed::b());
+    }
+
+    #[test]
+    fn gemm_throughput_is_plausible() {
+        // β_gemm implies ~44 TFLOPS on A (A6000-class) and ~23 on B
+        // (2080 Ti-class): 1 / (β ms/FLOP) = FLOP/ms.
+        let tflops_a = 1.0 / Testbed::a().costs.gemm.beta / 1e9; // FLOP/ms → TFLOPS
+        let tflops_b = 1.0 / Testbed::b().costs.gemm.beta / 1e9;
+        assert!((30.0..60.0).contains(&tflops_a), "{tflops_a}");
+        assert!((15.0..30.0).contains(&tflops_b), "{tflops_b}");
+    }
+
+    #[test]
+    fn inter_node_costlier_per_byte_than_intra() {
+        // On both testbeds AllReduce (inter-node) has the largest β and
+        // the node-aligned intra ops (AG/RS) the smallest of the comms.
+        for tb in [Testbed::a(), Testbed::b()] {
+            assert!(tb.costs.all_reduce.beta > tb.costs.all_gather.beta);
+            assert!(tb.costs.all_reduce.beta > tb.costs.reduce_scatter.beta);
+        }
+    }
+
+    #[test]
+    fn with_nodes_rescales() {
+        let t = Testbed::a().with_nodes(2);
+        assert_eq!(t.world_size(), 16);
+        assert_eq!(t.kind, TestbedKind::A);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TestbedKind::A.to_string(), "Testbed-A");
+        assert_eq!(TestbedKind::B.to_string(), "Testbed-B");
+    }
+}

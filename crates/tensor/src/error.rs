@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by a shape does not match the data length.
+    ShapeDataMismatch {
+        /// Shape the caller requested.
+        shape: Vec<usize>,
+        /// Number of elements actually provided.
+        len: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// An operation needed a tensor of a particular rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank it received.
+        actual: usize,
+    },
+    /// An axis argument was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// An index was out of bounds along some axis.
+    IndexOutOfBounds {
+        /// Offending flat or per-axis index.
+        index: usize,
+        /// Length of the axis (or of the buffer).
+        bound: usize,
+    },
+    /// A `k` parameter (e.g. in top-k) exceeded the axis length.
+    InvalidK {
+        /// Requested k.
+        k: usize,
+        /// Length of the axis being selected from.
+        axis_len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, len } => write!(
+                f,
+                "shape {shape:?} implies {} elements but {len} were provided",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+            TensorError::InvalidK { k, axis_len } => {
+                write!(f, "top-k with k={k} exceeds axis length {axis_len}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::ShapeDataMismatch {
+                shape: vec![2, 3],
+                len: 5,
+            },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![2, 3],
+                rhs: vec![4, 5],
+            },
+            TensorError::RankMismatch {
+                op: "softmax",
+                expected: 2,
+                actual: 1,
+            },
+            TensorError::AxisOutOfRange { axis: 3, rank: 2 },
+            TensorError::IndexOutOfBounds { index: 9, bound: 4 },
+            TensorError::InvalidK { k: 5, axis_len: 2 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

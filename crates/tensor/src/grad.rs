@@ -1,0 +1,291 @@
+//! Manual backward passes.
+//!
+//! FSMoE implements backpropagation by hand so the backward phase can be
+//! re-scheduled independently of the forward phase (paper §4.4). This
+//! module provides the per-op vector-Jacobian products the MoE layer's
+//! backward uses; each one is validated against finite differences in the
+//! tests.
+
+use crate::nn::{gelu_grad_scalar, silu_grad_scalar};
+use crate::{Result, Tensor};
+
+/// Gradients of `y = x · w` with respect to both operands.
+///
+/// Given `grad_y = ∂L/∂y` of shape `(m, n)`, input `x` of shape `(m, k)`
+/// and weight `w` of shape `(k, n)`, returns `(∂L/∂x, ∂L/∂w)`.
+///
+/// The backward cost being *twice* the forward cost (one GEMM each for the
+/// input grad and the weight grad) is exactly why the paper doubles
+/// `α_exp`, `β_exp`, `n_exp` in the backward performance model (§4.4).
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the underlying GEMMs.
+pub fn matmul_backward(grad_y: &Tensor, x: &Tensor, w: &Tensor) -> Result<(Tensor, Tensor)> {
+    let grad_x = grad_y.matmul(&w.transpose()?)?;
+    let grad_w = x.transpose()?.matmul(grad_y)?;
+    Ok((grad_x, grad_w))
+}
+
+/// Backward of row-wise softmax.
+///
+/// Given the forward output `probs` (`softmax(z)`) and upstream gradient
+/// `grad_out`, returns `∂L/∂z` row by row:
+/// `grad_z_i = p_i * (g_i - Σ_j g_j p_j)`.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error when the tensors disagree.
+pub fn softmax_backward(grad_out: &Tensor, probs: &Tensor) -> Result<Tensor> {
+    let cols = probs.dims()[probs.rank() - 1];
+    let mut out = vec![0.0f32; probs.num_elements()];
+    if !probs.shape().same_as(grad_out.shape()) {
+        return Err(crate::TensorError::ShapeMismatch {
+            op: "softmax_backward",
+            lhs: grad_out.dims().to_vec(),
+            rhs: probs.dims().to_vec(),
+        });
+    }
+    for (row, (p_row, g_row)) in probs
+        .data()
+        .chunks(cols)
+        .zip(grad_out.data().chunks(cols))
+        .enumerate()
+    {
+        let dot: f32 = p_row.iter().zip(g_row).map(|(p, g)| p * g).sum();
+        for (j, (&p, &g)) in p_row.iter().zip(g_row).enumerate() {
+            out[row * cols + j] = p * (g - dot);
+        }
+    }
+    Tensor::from_vec(out, probs.dims())
+}
+
+/// Backward of GeLU: `grad_x = grad_y ⊙ gelu'(x)`.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error when the tensors disagree.
+pub fn gelu_backward(grad_y: &Tensor, x: &Tensor) -> Result<Tensor> {
+    elementwise_backward(grad_y, x, gelu_grad_scalar)
+}
+
+/// Backward of SiLU: `grad_x = grad_y ⊙ silu'(x)`.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error when the tensors disagree.
+pub fn silu_backward(grad_y: &Tensor, x: &Tensor) -> Result<Tensor> {
+    elementwise_backward(grad_y, x, silu_grad_scalar)
+}
+
+/// Backward of sigmoid: `grad_x = grad_y ⊙ σ(x)(1-σ(x))`.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error when the tensors disagree.
+pub fn sigmoid_backward(grad_y: &Tensor, x: &Tensor) -> Result<Tensor> {
+    elementwise_backward(grad_y, x, |v| {
+        let s = 1.0 / (1.0 + (-v).exp());
+        s * (1.0 - s)
+    })
+}
+
+/// Backward of ReLU.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error when the tensors disagree.
+pub fn relu_backward(grad_y: &Tensor, x: &Tensor) -> Result<Tensor> {
+    elementwise_backward(grad_y, x, |v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Backward of row-wise [`Tensor::layer_norm`] (unit gain, zero bias).
+///
+/// With `x̂ = (x − μ)/σ` per row, the input gradient is
+/// `dx = (g − mean(g) − x̂ · mean(g ⊙ x̂)) / σ`.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error when the tensors disagree or are
+/// rank 0.
+pub fn layer_norm_backward(grad_y: &Tensor, x: &Tensor, eps: f32) -> Result<Tensor> {
+    if !grad_y.shape().same_as(x.shape()) || x.rank() == 0 {
+        return Err(crate::TensorError::ShapeMismatch {
+            op: "layer_norm_backward",
+            lhs: grad_y.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+        });
+    }
+    let cols = x.dims()[x.rank() - 1];
+    let mut out = vec![0.0f32; x.num_elements()];
+    for (row, (x_row, g_row)) in x
+        .data()
+        .chunks(cols)
+        .zip(grad_y.data().chunks(cols))
+        .enumerate()
+    {
+        let n = cols as f32;
+        let mean = x_row.iter().sum::<f32>() / n;
+        let var = x_row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        let sigma = (var + eps).sqrt();
+        let xhat: Vec<f32> = x_row.iter().map(|v| (v - mean) / sigma).collect();
+        let g_mean = g_row.iter().sum::<f32>() / n;
+        let gx_mean = g_row.iter().zip(&xhat).map(|(g, h)| g * h).sum::<f32>() / n;
+        for j in 0..cols {
+            out[row * cols + j] = (g_row[j] - g_mean - xhat[j] * gx_mean) / sigma;
+        }
+    }
+    Tensor::from_vec(out, x.dims())
+}
+
+fn elementwise_backward<F: Fn(f32) -> f32>(
+    grad_y: &Tensor,
+    x: &Tensor,
+    dfdx: F,
+) -> Result<Tensor> {
+    if !grad_y.shape().same_as(x.shape()) {
+        return Err(crate::TensorError::ShapeMismatch {
+            op: "elementwise_backward",
+            lhs: grad_y.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+        });
+    }
+    Tensor::from_vec(
+        grad_y
+            .data()
+            .iter()
+            .zip(x.data())
+            .map(|(&g, &v)| g * dfdx(v))
+            .collect(),
+        x.dims(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+
+    /// Central finite difference of a scalar loss with respect to `x`.
+    fn finite_diff<F: Fn(&Tensor) -> f32>(x: &Tensor, loss: F) -> Tensor {
+        let h = 1e-3f32;
+        let mut grad = Tensor::zeros(x.dims());
+        for i in 0..x.num_elements() {
+            let mut plus = x.clone();
+            plus.data_mut()[i] += h;
+            let mut minus = x.clone();
+            minus.data_mut()[i] -= h;
+            grad.data_mut()[i] = (loss(&plus) - loss(&minus)) / (2.0 * h);
+        }
+        grad
+    }
+
+    #[test]
+    fn matmul_backward_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(0);
+        let x = rng.uniform(&[3, 4], -1.0, 1.0);
+        let w = rng.uniform(&[4, 2], -1.0, 1.0);
+        // loss = sum(x·w), so upstream grad is all ones
+        let grad_y = Tensor::ones(&[3, 2]);
+        let (gx, gw) = matmul_backward(&grad_y, &x, &w).unwrap();
+
+        let fd_x = finite_diff(&x, |t| t.matmul(&w).unwrap().sum());
+        let fd_w = finite_diff(&w, |t| x.matmul(t).unwrap().sum());
+        assert!(gx.allclose(&fd_x, 1e-2), "input grad mismatch");
+        assert!(gw.allclose(&fd_w, 1e-2), "weight grad mismatch");
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(1);
+        let z = rng.uniform(&[2, 5], -2.0, 2.0);
+        // loss = Σ c_i p_i with fixed random c
+        let c = rng.uniform(&[2, 5], -1.0, 1.0);
+        let probs = z.softmax().unwrap();
+        let grad = softmax_backward(&c, &probs).unwrap();
+        let fd = finite_diff(&z, |t| t.softmax().unwrap().mul(&c).unwrap().sum());
+        assert!(grad.allclose(&fd, 1e-2));
+    }
+
+    #[test]
+    fn softmax_backward_row_sums_are_zero() {
+        // Softmax outputs sum to 1, so gradients w.r.t. logits sum to 0 per
+        // row, for any upstream gradient.
+        let mut rng = TensorRng::seed_from(2);
+        let z = rng.uniform(&[4, 6], -3.0, 3.0);
+        let g = rng.uniform(&[4, 6], -1.0, 1.0);
+        let grad = softmax_backward(&g, &z.softmax().unwrap()).unwrap();
+        for row in grad.data().chunks(6) {
+            assert!(row.iter().sum::<f32>().abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn activation_backwards_match_finite_difference() {
+        let mut rng = TensorRng::seed_from(3);
+        let x = rng.uniform(&[2, 4], -2.0, 2.0);
+        let ones = Tensor::ones(&[2, 4]);
+
+        let cases: Vec<(Tensor, Tensor)> = vec![
+            (
+                gelu_backward(&ones, &x).unwrap(),
+                finite_diff(&x, |t| t.gelu().sum()),
+            ),
+            (
+                silu_backward(&ones, &x).unwrap(),
+                finite_diff(&x, |t| t.silu().sum()),
+            ),
+            (
+                sigmoid_backward(&ones, &x).unwrap(),
+                finite_diff(&x, |t| t.sigmoid().sum()),
+            ),
+        ];
+        for (analytic, fd) in cases {
+            assert!(analytic.allclose(&fd, 1e-2));
+        }
+    }
+
+    #[test]
+    fn layer_norm_backward_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(4);
+        let x = rng.uniform(&[3, 5], -2.0, 2.0);
+        let c = rng.uniform(&[3, 5], -1.0, 1.0);
+        let probs_grad = layer_norm_backward(&c, &x, 1e-5).unwrap();
+        let fd = finite_diff(&x, |t| {
+            t.layer_norm(1e-5).unwrap().mul(&c).unwrap().sum()
+        });
+        assert!(
+            probs_grad.allclose(&fd, 2e-2),
+            "max diff {}",
+            probs_grad.max_abs_diff(&fd).unwrap()
+        );
+    }
+
+    #[test]
+    fn layer_norm_backward_rows_sum_to_zero() {
+        // layer norm output is mean-invariant, so row gradients sum to 0
+        let mut rng = TensorRng::seed_from(5);
+        let x = rng.uniform(&[4, 6], -3.0, 3.0);
+        let g = rng.uniform(&[4, 6], -1.0, 1.0);
+        let grad = layer_norm_backward(&g, &x, 1e-5).unwrap();
+        for row in grad.data().chunks(6) {
+            assert!(row.iter().sum::<f32>().abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn relu_backward_gates_gradient() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[4]).unwrap();
+        let g = Tensor::from_vec(vec![10.0, 10.0, 10.0, 10.0], &[4]).unwrap();
+        let grad = relu_backward(&g, &x).unwrap();
+        assert_eq!(grad.data(), &[0.0, 10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn backward_shape_mismatch_errors() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(softmax_backward(&a, &b).is_err());
+        assert!(gelu_backward(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Neural-network primitives: activations, softmax, layer norm.
+//!
+//! These are the exact nonlinearities the paper's MoE components use:
+//! softmax in the GShard and SoftMoE gates, sigmoid in the BASE/StableMoE
+//! gate, softplus in the GShard noise term, GeLU in the GPT feed-forward
+//! expert, and SiLU in the Mixtral (SwiGLU) expert.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Numerically stable softmax over the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn softmax(&self) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                op: "softmax",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let cols = self.dims()[self.rank() - 1];
+        let mut out = self.data().to_vec();
+        for row in out.chunks_mut(cols) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            // An all -inf row (every expert masked out) softmaxes to zeros
+            // rather than NaNs, matching the "token dropped" semantics.
+            if max == f32::NEG_INFINITY {
+                row.iter_mut().for_each(|v| *v = 0.0);
+                continue;
+            }
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Logistic sigmoid, element-wise.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// Softplus `ln(1 + e^x)`, element-wise (used in the GShard noise term).
+    pub fn softplus(&self) -> Tensor {
+        // Stable form: max(x, 0) + ln(1 + e^{-|x|}).
+        self.map(|v| v.max(0.0) + (1.0 + (-v.abs()).exp()).ln())
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as in GPT-2).
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu_scalar)
+    }
+
+    /// SiLU / swish `x · σ(x)` (the Mixtral expert activation).
+    pub fn silu(&self) -> Tensor {
+        self.map(|v| v / (1.0 + (-v).exp()))
+    }
+
+    /// ReLU, element-wise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Layer normalisation over the last axis with unit gain and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn layer_norm(&self, eps: f32) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                op: "layer_norm",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let cols = self.dims()[self.rank() - 1];
+        let mut out = self.data().to_vec();
+        for row in out.chunks_mut(cols) {
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols as f32;
+            let denom = (var + eps).sqrt();
+            for v in row.iter_mut() {
+                *v = (*v - mean) / denom;
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// L2-normalises each row of the last axis (used by the X-MoE cosine
+    /// router).
+    ///
+    /// Rows with zero norm are left as zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn l2_normalize(&self, eps: f32) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                op: "l2_normalize",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let cols = self.dims()[self.rank() - 1];
+        let mut out = self.data().to_vec();
+        for row in out.chunks_mut(cols) {
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > eps {
+                for v in row.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+}
+
+/// GeLU on a single value (tanh approximation).
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GeLU at `x`.
+pub(crate) fn gelu_grad_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let u = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// Derivative of SiLU at `x`.
+pub(crate) fn silu_grad_scalar(x: f32) -> f32 {
+    let s = 1.0 / (1.0 + (-x).exp());
+    s * (1.0 + x * (1.0 - s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = t.softmax().unwrap();
+        for row in s.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = a.map(|v| v + 100.0);
+        assert!(a.softmax().unwrap().allclose(&b.softmax().unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn softmax_handles_neg_infinity_mask() {
+        let t = Tensor::from_vec(vec![1.0, f32::NEG_INFINITY, 2.0], &[3]).unwrap();
+        let s = t.softmax().unwrap();
+        assert_eq!(s.data()[1], 0.0);
+        assert!((s.sum() - 1.0).abs() < 1e-6);
+
+        let all_masked = Tensor::full(&[3], f32::NEG_INFINITY).softmax().unwrap();
+        assert_eq!(all_masked.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry() {
+        let t = Tensor::from_vec(vec![-5.0, 0.0, 5.0], &[3]).unwrap();
+        let s = t.sigmoid();
+        assert!((s.data()[1] - 0.5).abs() < 1e-7);
+        assert!((s.data()[0] + s.data()[2] - 1.0).abs() < 1e-6);
+        assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softplus_positive_and_asymptotic() {
+        let t = Tensor::from_vec(vec![-10.0, 0.0, 20.0], &[3]).unwrap();
+        let s = t.softplus();
+        assert!(s.data()[0] > 0.0 && s.data()[0] < 1e-4);
+        assert!((s.data()[1] - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((s.data()[2] - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]).unwrap();
+        let g = t.gelu();
+        assert_eq!(g.data()[0], 0.0);
+        assert!((g.data()[1] - 0.841_19).abs() < 1e-3);
+        assert!((g.data()[2] + 0.158_81).abs() < 1e-3);
+    }
+
+    #[test]
+    fn silu_known_points() {
+        let t = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+        let s = t.silu();
+        assert_eq!(s.data()[0], 0.0);
+        assert!((s.data()[1] - 0.731_06).abs() < 1e-4);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[2, 4]).unwrap();
+        let n = t.layer_norm(1e-5).unwrap();
+        for row in n.data().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn l2_normalize_unit_rows() {
+        let t = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let n = t.l2_normalize(1e-8).unwrap();
+        assert!((n.data()[0] - 0.6).abs() < 1e-6);
+        assert!((n.data()[1] - 0.8).abs() < 1e-6);
+        // zero row untouched
+        assert_eq!(&n.data()[2..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn activation_grads_match_finite_difference() {
+        let xs = [-2.0f32, -0.5, 0.0, 0.3, 1.7];
+        let h = 1e-3f32;
+        for &x in &xs {
+            let fd_gelu = (gelu_scalar(x + h) - gelu_scalar(x - h)) / (2.0 * h);
+            assert!((fd_gelu - gelu_grad_scalar(x)).abs() < 1e-2, "gelu at {x}");
+            let silu = |v: f32| v / (1.0 + (-v).exp());
+            let fd_silu = (silu(x + h) - silu(x - h)) / (2.0 * h);
+            assert!((fd_silu - silu_grad_scalar(x)).abs() < 1e-2, "silu at {x}");
+        }
+    }
+}

@@ -1,0 +1,353 @@
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix multiplication of two rank-2 tensors: `(m,k) × (k,n) → (m,n)`.
+    ///
+    /// This is the GEMM every expert feed-forward and every gating
+    /// projection in the MoE layer reduces to; the paper's performance
+    /// model (§4.1) prices expert time as a multiple of GEMM time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank 2 with matching inner
+    /// dimension.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: rhs.rank(),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: the inner loop streams through contiguous rows of
+        // `b` and `out`, which is the cache-friendly order for row-major
+        // buffers.
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Adds `rhs` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, rhs: &Tensor) -> Result<()> {
+        if !self.shape().same_as(rhs.shape()) {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data_mut().iter_mut().zip(rhs.data()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor::from_vec(self.data().iter().map(|&v| f(v)).collect(), self.dims())
+            .expect("map preserves shape")
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.num_elements() == 0 {
+            0.0
+        } else {
+            self.sum() / self.num_elements() as f32
+        }
+    }
+
+    /// Sums a rank-2 tensor over its rows: `(m,n) → (n,)`.
+    ///
+    /// This is the reduction used when accumulating weight gradients over a
+    /// token batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "sum_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j] += self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n])
+    }
+
+    /// Extracts rows `[start, end)` of a rank-2 tensor.
+    ///
+    /// Used to shard a `(H, M)` weight row-wise across an
+    /// expert-sharding-parallel group.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or an invalid range.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "slice_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        if start > end || end > m {
+            return Err(TensorError::IndexOutOfBounds {
+                index: end,
+                bound: m,
+            });
+        }
+        Tensor::from_vec(self.data()[start * n..end * n].to_vec(), &[end - start, n])
+    }
+
+    /// Extracts columns `[start, end)` of a rank-2 tensor.
+    ///
+    /// Used to shard a `(M, H)` weight column-wise across an
+    /// expert-sharding-parallel group.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or an invalid range.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "slice_cols",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        if start > end || end > n {
+            return Err(TensorError::IndexOutOfBounds {
+                index: end,
+                bound: n,
+            });
+        }
+        let width = end - start;
+        let mut out = Vec::with_capacity(m * width);
+        for i in 0..m {
+            out.extend_from_slice(&self.data()[i * n + start..i * n + end]);
+        }
+        Tensor::from_vec(out, &[m, width])
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: F,
+    ) -> Result<Tensor> {
+        if !self.shape().same_as(rhs.shape()) {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        Tensor::from_vec(
+            self.data()
+                .iter()
+                .zip(rhs.data())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.dims(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        assert_eq!(Tensor::eye(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        assert!(Tensor::zeros(&[2]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.transpose().unwrap(), a);
+        assert_eq!(t.at(&[2, 1]).unwrap(), a.at(&[1, 2]).unwrap());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c.add_assign(&b).unwrap();
+        assert_eq!(c.data(), &[4.0, 7.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn slicing_rows_and_cols() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap();
+        let r = a.slice_rows(1, 3).unwrap();
+        assert_eq!(r.dims(), &[2, 4]);
+        assert_eq!(r.data()[0], 4.0);
+        let c = a.slice_cols(1, 3).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+        assert!(a.slice_rows(2, 5).is_err());
+        assert!(a.slice_cols(3, 2).is_err());
+        assert!(Tensor::zeros(&[3]).slice_cols(0, 1).is_err());
+    }
+
+    #[test]
+    fn column_shards_reassemble_matmul() {
+        // x·W == Σ_s parts where W is column-sharded and parts concatenated:
+        // verify (x · W)[:, s-range] == x · W_s
+        let x = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let w = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), &[3, 4]).unwrap();
+        let full = x.matmul(&w).unwrap();
+        let left = x.matmul(&w.slice_cols(0, 2).unwrap()).unwrap();
+        let right = x.matmul(&w.slice_cols(2, 4).unwrap()).unwrap();
+        assert_eq!(full.slice_cols(0, 2).unwrap(), left);
+        assert_eq!(full.slice_cols(2, 4).unwrap(), right);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.sum_rows().unwrap().data(), &[4.0, 6.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Top-k selection, the core of every MoE routing function.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Result of a row-wise top-k selection.
+///
+/// For each row of the input, `indices[row]` lists the positions of the `k`
+/// largest values in descending value order, and `values[row]` the values
+/// themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    /// Selected positions per row, `rows × k`, descending by value.
+    pub indices: Vec<Vec<usize>>,
+    /// Selected values per row, `rows × k`, descending.
+    pub values: Vec<Vec<f32>>,
+}
+
+impl TopK {
+    /// Number of rows selected over.
+    pub fn rows(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The `k` used for the selection (0 when there are no rows).
+    pub fn k(&self) -> usize {
+        self.indices.first().map_or(0, Vec::len)
+    }
+}
+
+/// Positions of the `k` largest values of `row`, descending by value.
+///
+/// Ties are broken by preferring the lower index, which makes routing
+/// deterministic across ranks — a property the dispatch tests rely on.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidK`] when `k` is zero or exceeds
+/// `row.len()`.
+pub fn top_k_indices(row: &[f32], k: usize) -> Result<Vec<usize>> {
+    if k == 0 || k > row.len() {
+        return Err(TensorError::InvalidK {
+            k,
+            axis_len: row.len(),
+        });
+    }
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    Ok(idx)
+}
+
+impl Tensor {
+    /// Row-wise top-k over the last axis of a rank-2 tensor.
+    ///
+    /// This implements the paper's `KeepTopK` selection: for the gating
+    /// logits of shape `(tokens, experts)` it returns, per token, the `k`
+    /// experts with the largest logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-2 tensors or invalid `k`.
+    pub fn top_k(&self, k: usize) -> Result<TopK> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "top_k",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let cols = self.dims()[1];
+        let mut indices = Vec::with_capacity(self.dims()[0]);
+        let mut values = Vec::with_capacity(self.dims()[0]);
+        for row in self.data().chunks(cols) {
+            let idx = top_k_indices(row, k)?;
+            values.push(idx.iter().map(|&i| row[i]).collect());
+            indices.push(idx);
+        }
+        Ok(TopK { indices, values })
+    }
+
+    /// The paper's `KeepTopK(v, k)`: keeps the top-k entries of each row,
+    /// setting the rest to `-∞` (so a following softmax zeroes them).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-2 tensors or invalid `k`.
+    pub fn keep_top_k(&self, k: usize) -> Result<Tensor> {
+        let topk = self.top_k(k)?;
+        let cols = self.dims()[1];
+        let mut out = vec![f32::NEG_INFINITY; self.num_elements()];
+        for (r, idx) in topk.indices.iter().enumerate() {
+            for &i in idx {
+                out[r * cols + i] = self.data()[r * cols + i];
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_indices_descending() {
+        let row = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&row, 2).unwrap(), vec![1, 3]);
+        assert_eq!(top_k_indices(&row, 4).unwrap(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_tie_break_prefers_lower_index() {
+        let row = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&row, 2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_rejects_bad_k() {
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_err());
+        assert!(top_k_indices(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn tensor_top_k_rows() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 2.0, 9.0, 7.0, 8.0], &[2, 3]).unwrap();
+        let k = t.top_k(2).unwrap();
+        assert_eq!(k.rows(), 2);
+        assert_eq!(k.k(), 2);
+        assert_eq!(k.indices, vec![vec![1, 2], vec![0, 2]]);
+        assert_eq!(k.values, vec![vec![3.0, 2.0], vec![9.0, 8.0]]);
+    }
+
+    #[test]
+    fn keep_top_k_masks_rest() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 2.0], &[1, 3]).unwrap();
+        let masked = t.keep_top_k(1).unwrap();
+        assert_eq!(masked.data()[1], 3.0);
+        assert_eq!(masked.data()[0], f32::NEG_INFINITY);
+        assert_eq!(masked.data()[2], f32::NEG_INFINITY);
+        // softmax after keep_top_k puts all mass on the kept expert
+        let probs = masked.softmax().unwrap();
+        assert_eq!(probs.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn keep_top_k_requires_rank_2() {
+        assert!(Tensor::zeros(&[3]).keep_top_k(1).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Train a small MoE transformer end-to-end on the CPU data plane:
+//! causal multi-head attention + GShard-gated MoE feed-forward blocks,
+//! all with hand-written backward passes — the same computation the
+//! paper's real-model runs perform, at laptop scale.
+//!
+//! Run with `cargo run --release -p models --example train_transformer`.
+
+use fsmoe::config::{FfnKind, MoeConfig};
+use models::block::MoeTransformer;
+use tensor::TensorRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MoeConfig::builder()
+        .batch_size(1)
+        .seq_len(24)
+        .embed_dim(32)
+        .hidden_dim(64)
+        .num_experts(4)
+        .top_k(2)
+        .capacity_factor(2.0)
+        .ffn(FfnKind::Mixtral)
+        .build()?;
+
+    let mut rng = TensorRng::seed_from(11);
+    let mut model = MoeTransformer::new(&config, 4, 2, &mut rng)?;
+    println!(
+        "MoE transformer: {} blocks, {} heads, {} experts/block (Mixtral ffn)\n",
+        model.depth(),
+        4,
+        config.num_experts
+    );
+
+    // learn a fixed nonlinear mapping: target = shifted input, a toy
+    // sequence-modelling task the causal model can fit
+    let x = rng.normal(&[config.tokens(), config.embed_dim], 0.0, 1.0);
+    let target = {
+        // shift tokens right by one position (predict previous token)
+        let mut t = x.clone();
+        let m = config.embed_dim;
+        for i in (1..config.tokens()).rev() {
+            let (a, b) = t.data_mut().split_at_mut(i * m);
+            b[..m].copy_from_slice(&a[(i - 1) * m..i * m]);
+        }
+        t
+    };
+
+    let mut route_rng = TensorRng::seed_from(0);
+    for epoch in 0..12 {
+        let loss = model.train_step(&x, &target, 0.3, &mut route_rng)?;
+        if epoch % 2 == 0 {
+            let routing = model.blocks()[0]
+                .moe()
+                .last_routing()
+                .expect("forward ran");
+            println!(
+                "epoch {epoch:2}: loss {loss:8.5}  (block-0 expert loads {:?})",
+                routing.expert_loads()
+            );
+        }
+    }
+    println!("\nthe loss falls through stacked attention + MoE blocks — the");
+    println!("entire backward pass is hand-written, as in the paper (§4.4).");
+    Ok(())
+}
