@@ -1,12 +1,11 @@
 //! Schedule taxonomy and per-schedule pipeline-degree selection.
 
 use scheduler::{find_optimal_pipeline_degree, MoePerfModel};
-use serde::{Deserialize, Serialize};
 
 use crate::lower::simulate_layer;
 
 /// The six schedules compared in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {
     /// DeepSpeed-MoE: fully sequential MoE layer (Fig. 3a's default).
     DsMoe,
@@ -142,7 +141,10 @@ mod tests {
 
     #[test]
     fn ds_moe_never_pipelines() {
-        assert_eq!(ScheduleKind::DsMoe.pipeline_degree(&model(1e7, 1e11, 0.0)), 1);
+        assert_eq!(
+            ScheduleKind::DsMoe.pipeline_degree(&model(1e7, 1e11, 0.0)),
+            1
+        );
     }
 
     #[test]

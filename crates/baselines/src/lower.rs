@@ -24,6 +24,7 @@ use crate::ScheduleKind;
 /// # Panics
 ///
 /// Panics when `r == 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn lower_moe_layer(
     kind: ScheduleKind,
     graph: &mut TaskGraph,
@@ -134,9 +135,11 @@ mod tests {
         let m = model(1.0e5, 1.0e11, 0.0);
         for r in [2u32, 4] {
             let t = simulate_layer(ScheduleKind::Tutel, &m, r, &[]);
-            let formula =
-                2.0 * m.t_a2a(r) + f64::from(r) * (m.t_ag(r) + m.t_exp(r) + m.t_rs(r));
-            assert!((t - formula).abs() / formula < 0.01, "r={r}: {t} vs {formula}");
+            let formula = 2.0 * m.t_a2a(r) + f64::from(r) * (m.t_ag(r) + m.t_exp(r) + m.t_rs(r));
+            assert!(
+                (t - formula).abs() / formula < 0.01,
+                "r={r}: {t} vs {formula}"
+            );
         }
     }
 

@@ -1,23 +1,129 @@
-//! Criterion benchmarks for the hot paths the paper quantifies in §6.2:
-//! the pipeline-degree solver (paper: SLSQP averages 193 ms per config),
-//! the model fit (paper: <10 ms), the gradient partitioner, the
-//! discrete-event simulator, and the data-plane kernels.
+//! Pure-std benchmark harness for the hot paths the paper quantifies in
+//! §6.2, plus the serial-vs-parallel compute baseline introduced with the
+//! threaded GEMM path.
+//!
+//! Runs under `cargo bench` (the `[[bench]]` target sets `harness = false`,
+//! so this `main` owns the process). It times:
+//!
+//! * blocked GEMM, serial (`threads = 1`) vs the `TENSOR_THREADS` fan-out,
+//!   over a size sweep straddling the parallel threshold;
+//! * an end-to-end GShard MoE layer forward, serial vs parallel — the
+//!   serial leg re-executes this binary with `TENSOR_THREADS=1` because
+//!   the thread count is latched once per process;
+//! * the control-plane kernels (pipeline-degree solver, α–β model fit)
+//!   the paper benchmarks against SLSQP.
+//!
+//! Results are printed as a table and written to `BENCH_compute.json`
+//! (override with the first positional argument) so successive runs can
+//! be diffed.
 
-use baselines::ScheduleKind;
+use std::process::Command;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
 use bench::table4_grid;
-use criterion::{criterion_group, criterion_main, Criterion};
-use models::iteration::{build_iteration_graph, plan_iteration};
-use models::ModelPreset;
-use numopt::{DeConfig, LinearFit};
+use jsonio::Json;
+use numopt::LinearFit;
 use profiler::microbench::{comm_message_sizes, profile_op};
-use scheduler::{
-    find_optimal_pipeline_degree, partition_gradients, GeneralizedLayer, MoePerfModel, Phase,
-};
-use simnet::{Engine, Testbed};
-use std::hint::black_box;
-use tensor::{Tensor, TensorRng};
+use scheduler::{find_optimal_pipeline_degree, MoePerfModel, Phase};
+use simnet::Testbed;
+use tensor::TensorRng;
 
-fn bench_solver(c: &mut Criterion) {
+/// Best-of-`runs` wall time of `f`, in milliseconds.
+fn best_of_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Square GEMM dimensions for the sweep; 64 sits below the
+/// `PAR_MIN_MACS` serial-fallback threshold, the rest above it.
+const GEMM_DIMS: [usize; 4] = [64, 128, 256, 384];
+const GEMM_RUNS: usize = 5;
+const MOE_RUNS: usize = 5;
+
+fn bench_gemm(threads: usize) -> Vec<Json> {
+    let mut rng = TensorRng::seed_from(0xC0FFEE);
+    let mut rows = Vec::new();
+    println!("GEMM serial vs parallel ({threads} threads):");
+    println!(
+        "  {:>5}  {:>12}  {:>12}  {:>8}  {:>10}",
+        "dim", "serial ms", "parallel ms", "speedup", "GFLOP/s"
+    );
+    for &d in &GEMM_DIMS {
+        let a = rng.uniform(&[d, d], -1.0, 1.0);
+        let b = rng.uniform(&[d, d], -1.0, 1.0);
+        let serial_ms = best_of_ms(GEMM_RUNS, || {
+            std::hint::black_box(a.matmul_with_threads(&b, 1).expect("gemm").data()[0]);
+        });
+        let parallel_ms = best_of_ms(GEMM_RUNS, || {
+            std::hint::black_box(a.matmul_with_threads(&b, threads).expect("gemm").data()[0]);
+        });
+        let flops = 2.0 * (d as f64).powi(3);
+        let gflops = flops / (parallel_ms * 1e-3) / 1e9;
+        let speedup = serial_ms / parallel_ms;
+        println!(
+            "  {d:>5}  {serial_ms:>12.4}  {parallel_ms:>12.4}  {speedup:>7.2}x  {gflops:>10.2}"
+        );
+        rows.push(Json::obj(vec![
+            ("dim", Json::from(d)),
+            ("serial_ms", Json::from(serial_ms)),
+            ("parallel_ms", Json::from(parallel_ms)),
+            ("speedup", Json::from(speedup)),
+            ("gflops_parallel", Json::from(gflops)),
+        ]));
+    }
+    rows
+}
+
+/// Builds the end-to-end layer and times one forward, at whatever thread
+/// count this process latched from `TENSOR_THREADS`.
+fn moe_forward_ms() -> (f64, usize, usize) {
+    let mut rng = TensorRng::seed_from(7);
+    let cfg = fsmoe::config::MoeConfig::builder()
+        .batch_size(1)
+        .seq_len(512)
+        .embed_dim(128)
+        .hidden_dim(256)
+        .num_experts(8)
+        .top_k(2)
+        .build()
+        .expect("static config is valid");
+    let mut layer = fsmoe::layer::MoeLayer::gshard(&cfg, &mut rng).expect("layer builds");
+    let input = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
+    let ms = best_of_ms(MOE_RUNS, || {
+        let mut r = TensorRng::seed_from(1);
+        std::hint::black_box(layer.forward(&input, &mut r).expect("forward"));
+    });
+    (ms, cfg.tokens(), cfg.num_experts)
+}
+
+/// Serial MoE reference: the per-process `TENSOR_THREADS` latch means the
+/// 1-thread leg needs its own process. Falls back to the parallel figure
+/// when re-execution is unavailable (then serial == parallel anyway on a
+/// single-core box).
+fn moe_serial_ms(parallel_ms: f64) -> f64 {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(_) => return parallel_ms,
+    };
+    let out = Command::new(exe)
+        .arg("--moe-serial")
+        .env("TENSOR_THREADS", "1")
+        .output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout)
+            .trim()
+            .parse()
+            .unwrap_or(parallel_ms),
+        _ => parallel_ms,
+    }
+}
+
+fn bench_control_plane() -> Vec<(&'static str, f64)> {
     // §6.2: the SLSQP solve averages 193 ms per configuration; our exact
     // solver should be orders of magnitude faster
     let tb = Testbed::a();
@@ -38,102 +144,94 @@ fn bench_solver(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("find_optimal_pipeline_degree", |b| {
-        b.iter(|| {
-            for m in &specs {
-                black_box(find_optimal_pipeline_degree(black_box(m)));
-            }
-        })
+    let solver_ms = best_of_ms(GEMM_RUNS, || {
+        for m in &specs {
+            std::hint::black_box(find_optimal_pipeline_degree(std::hint::black_box(m)));
+        }
     });
-}
 
-fn bench_linear_fit(c: &mut Criterion) {
     // §6.2: least-squares fitting takes <10 ms in the paper
     let tb = Testbed::b();
     let p = profile_op("AlltoAll", &tb.costs.a2a, &comm_message_sizes(), 0.01, 5, 3);
     let xs: Vec<f64> = p.samples.iter().map(|s| s.0).collect();
     let ys: Vec<f64> = p.samples.iter().map(|s| s.1).collect();
-    c.bench_function("linear_fit_24_points", |b| {
-        b.iter(|| black_box(LinearFit::fit(black_box(&xs), black_box(&ys)).unwrap()))
+    let fit_ms = best_of_ms(GEMM_RUNS, || {
+        std::hint::black_box(LinearFit::fit(&xs, &ys).expect("fit"));
     });
+    vec![
+        ("find_optimal_pipeline_degree_sweep", solver_ms),
+        ("linear_fit_24_points", fit_ms),
+    ]
 }
 
-fn bench_gradient_partition(c: &mut Criterion) {
-    let tb = Testbed::b();
-    let base = MoePerfModel::new(
-        &tb.costs, 4.0e6, 4.0e6, 4.0e6, 2.0e10, 2, Phase::Backward, 0.0,
-    );
-    let layers: Vec<GeneralizedLayer> = (0..12)
-        .map(|_| GeneralizedLayer {
-            moe: base,
-            t_olp_dense: 2.0,
-            grad_bytes: 5.0e6,
-        })
-        .collect();
-    let de = DeConfig {
-        population: 12,
-        generations: 40,
-        seed: 1,
-        ..DeConfig::default()
-    };
-    c.bench_function("partition_gradients_12_layers", |b| {
-        b.iter(|| black_box(partition_gradients(black_box(&layers), tb.costs.all_reduce, de)))
-    });
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--moe-serial") {
+        // child mode: print one number and exit
+        let (ms, _, _) = moe_forward_ms();
+        println!("{ms}");
+        return;
+    }
+    // default to the workspace root regardless of cargo's bench cwd
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .cloned()
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compute.json").to_string()
+        });
+
+    let hardware = tensor::par::hardware_threads();
+    let threads = tensor::par::num_threads();
+    println!("hardware threads: {hardware}, effective TENSOR_THREADS: {threads}\n");
+
+    let gemm_rows = bench_gemm(threads);
+
+    let (moe_parallel_ms, tokens, experts) = moe_forward_ms();
+    let moe_serial_ms = moe_serial_ms(moe_parallel_ms);
+    let moe_speedup = moe_serial_ms / moe_parallel_ms;
+    let tokens_per_s = tokens as f64 / (moe_parallel_ms * 1e-3);
+    println!("\nMoE layer forward ({tokens} tokens, {experts} experts):");
+    println!("  serial {moe_serial_ms:.3} ms, parallel {moe_parallel_ms:.3} ms ({moe_speedup:.2}x), {tokens_per_s:.0} tokens/s");
+
+    let control = bench_control_plane();
+    println!("\ncontrol plane:");
+    for (name, ms) in &control {
+        println!("  {name}: {ms:.4} ms");
+    }
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = Json::obj(vec![
+        ("bench", Json::from("compute")),
+        ("unix_time", Json::from(unix_time as f64)),
+        ("hardware_threads", Json::from(hardware)),
+        ("tensor_threads", Json::from(threads)),
+        ("gemm", Json::from(gemm_rows)),
+        (
+            "moe_layer",
+            Json::obj(vec![
+                ("tokens", Json::from(tokens)),
+                ("experts", Json::from(experts)),
+                ("serial_ms", Json::from(moe_serial_ms)),
+                ("parallel_ms", Json::from(moe_parallel_ms)),
+                ("speedup", Json::from(moe_speedup)),
+                ("tokens_per_s_parallel", Json::from(tokens_per_s)),
+            ]),
+        ),
+        (
+            "control_plane",
+            Json::obj(
+                control
+                    .iter()
+                    .map(|(name, ms)| (*name, Json::from(*ms)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ]);
+    let text = json.to_string().expect("all benchmark numbers are finite");
+    std::fs::write(&out_path, text + "\n").expect("write baseline json");
+    println!("\nwrote {out_path}");
 }
-
-fn bench_simulator(c: &mut Criterion) {
-    let tb = Testbed::b();
-    let preset = ModelPreset::gpt2_xl_moe().with_seq_len(256).with_layers(12);
-    let spec = preset.layer_spec(&tb).expect("valid");
-    let plan = plan_iteration(ScheduleKind::FsMoe, &tb.costs, &spec, 12);
-    let (graph, _) = build_iteration_graph(&plan);
-    c.bench_function("simulate_12_layer_iteration", |b| {
-        b.iter(|| black_box(Engine::new().simulate(black_box(&graph)).unwrap()))
-    });
-}
-
-fn bench_data_plane(c: &mut Criterion) {
-    let mut rng = TensorRng::seed_from(0);
-    let a = rng.uniform(&[128, 128], -1.0, 1.0);
-    let bm = rng.uniform(&[128, 128], -1.0, 1.0);
-    c.bench_function("matmul_128", |b| {
-        b.iter(|| black_box(a.matmul(black_box(&bm)).unwrap()))
-    });
-
-    let logits = rng.uniform(&[1024, 64], -1.0, 1.0);
-    c.bench_function("softmax_topk_1024x64", |b| {
-        b.iter(|| {
-            let masked = logits.keep_top_k(2).unwrap();
-            black_box(masked.softmax().unwrap())
-        })
-    });
-
-    let cfg = fsmoe::config::MoeConfig::builder()
-        .batch_size(1)
-        .seq_len(512)
-        .embed_dim(128)
-        .hidden_dim(256)
-        .num_experts(8)
-        .top_k(2)
-        .build()
-        .unwrap();
-    let mut layer = fsmoe::layer::MoeLayer::gshard(&cfg, &mut rng).unwrap();
-    let input = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
-    c.bench_function("moe_layer_forward_512tok", |b| {
-        b.iter(|| {
-            let mut r = TensorRng::seed_from(1);
-            black_box(layer.forward(black_box(&input), &mut r).unwrap())
-        })
-    });
-    let _ = Tensor::zeros(&[1]);
-}
-
-criterion_group!(
-    benches,
-    bench_solver,
-    bench_linear_fit,
-    bench_gradient_partition,
-    bench_simulator,
-    bench_data_plane
-);
-criterion_main!(benches);

@@ -20,7 +20,10 @@ use scheduler::{
 use simnet::Testbed;
 
 fn phase_separation_ablation(testbed: &Testbed) {
-    println!("## ablation 1 — separate fwd/bwd pipeline degrees ({})", testbed.kind);
+    println!(
+        "## ablation 1 — separate fwd/bwd pipeline degrees ({})",
+        testbed.kind
+    );
     let grid = table4_grid(testbed);
     let mut tied = Vec::new();
     let mut separate = Vec::new();
@@ -62,7 +65,10 @@ fn phase_separation_ablation(testbed: &Testbed) {
 }
 
 fn gradient_partition_ablation(testbed: &Testbed) {
-    println!("## ablation 2 — gradient partitioning steps ({})", testbed.kind);
+    println!(
+        "## ablation 2 — gradient partitioning steps ({})",
+        testbed.kind
+    );
     let preset = ModelPreset::gpt2_xl_moe().with_seq_len(512).with_layers(8);
     let spec = preset.layer_spec(testbed).expect("valid preset");
     let bwd = MoePerfModel::new(
@@ -139,7 +145,10 @@ fn gradient_partition_ablation(testbed: &Testbed) {
 }
 
 fn iio_ablation(testbed: &Testbed) {
-    println!("## ablation 3 — inter/intra overlap and FasterMoE ({})", testbed.kind);
+    println!(
+        "## ablation 3 — inter/intra overlap and FasterMoE ({})",
+        testbed.kind
+    );
     let preset = ModelPreset::mixtral_7b().with_seq_len(512).with_layers(6);
     let spec = preset.layer_spec(testbed).expect("valid preset");
     let bwd = MoePerfModel::new(

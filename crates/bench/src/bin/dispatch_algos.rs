@@ -40,13 +40,8 @@ fn main() {
                     c.intra
                 ));
             }
-            let (best, _) = best_a2a_algorithm(
-                bytes,
-                testbed.nodes,
-                testbed.gpus_per_node,
-                inter,
-                intra,
-            );
+            let (best, _) =
+                best_a2a_algorithm(bytes, testbed.nodes, testbed.gpus_per_node, inter, intra);
             println!(
                 "{:>10} {:>22} {:>22} {:>22} {:>10}",
                 bytes as u64,

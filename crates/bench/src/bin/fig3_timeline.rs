@@ -61,7 +61,13 @@ fn main() {
     let m = backward_model(&testbed, 0.0);
     let gar_total = testbed.costs.all_reduce.time(6.0e6);
 
-    chart("(a) default (DS-MoE): everything sequential", ScheduleKind::DsMoe, &[], gar_total, 0.0);
+    chart(
+        "(a) default (DS-MoE): everything sequential",
+        ScheduleKind::DsMoe,
+        &[],
+        gar_total,
+        0.0,
+    );
     chart(
         "(b) Tutel-Improved: PipeMoE + GAR over dense parts",
         ScheduleKind::Tutel,

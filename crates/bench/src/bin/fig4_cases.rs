@@ -23,7 +23,10 @@ fn show(title: &str, m: &MoePerfModel, gar: &[f64]) {
     let streams = StreamSet::add_to(&mut graph);
     let _ = lower_fsmoe_schedule(&mut graph, &streams, m, R, gar, &[], "moe");
     let tl = Engine::new().simulate(&graph).expect("lowered graph");
-    println!("### {title} — classified {case}, makespan {:.2} ms", tl.makespan());
+    println!(
+        "### {title} — classified {case}, makespan {:.2} ms",
+        tl.makespan()
+    );
     println!("{}", render_gantt(&graph, &tl, 100));
 }
 
@@ -34,7 +37,11 @@ fn main() {
     // Case 1: inter-node comm (AlltoAll + big GAR) dominates
     let m1 = MoePerfModel::new(&c, 1.0e7, 2.0e6, 2.0e6, 5.0e8, 2, Phase::Backward, 12.0);
     assert_eq!(Predicates::evaluate(&m1, 2).case(), CaseId::Case1);
-    show("Case 1: inter-node (AlltoAll + Gradient-AllReduce) dominates", &m1, &[12.0]);
+    show(
+        "Case 1: inter-node (AlltoAll + Gradient-AllReduce) dominates",
+        &m1,
+        &[12.0],
+    );
 
     // Case 2: expert computation dominates
     let m2 = MoePerfModel::new(&c, 1.0e6, 1.0e6, 1.0e6, 3.0e11, 2, Phase::Backward, 0.0);
@@ -52,9 +59,22 @@ fn main() {
         reduce_scatter: CostModel::new(0.05, 3.0e-6),
         ..c
     };
-    let m4 = MoePerfModel::new(&slow_intra, 4.0e6, 4.0e6, 4.0e6, 1.0e8, 2, Phase::Backward, 0.0);
+    let m4 = MoePerfModel::new(
+        &slow_intra,
+        4.0e6,
+        4.0e6,
+        4.0e6,
+        1.0e8,
+        2,
+        Phase::Backward,
+        0.0,
+    );
     assert_eq!(Predicates::evaluate(&m4, 2).case(), CaseId::Case4);
-    show("Case 4: intra-node (AllGather/ReduceScatter) dominates", &m4, &[]);
+    show(
+        "Case 4: intra-node (AllGather/ReduceScatter) dominates",
+        &m4,
+        &[],
+    );
 
     println!(
         "paper shape check: the saturated stream per chart matches the case\n\

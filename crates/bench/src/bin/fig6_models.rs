@@ -14,9 +14,13 @@ use simnet::{Testbed, TestbedKind};
 fn presets_for(kind: TestbedKind) -> Vec<ModelPreset> {
     match kind {
         TestbedKind::A => vec![
-            ModelPreset::gpt2_xl_moe().with_seq_len(1024).with_layers(12),
+            ModelPreset::gpt2_xl_moe()
+                .with_seq_len(1024)
+                .with_layers(12),
             ModelPreset::mixtral_7b().with_seq_len(1024).with_layers(32),
-            ModelPreset::mixtral_22b().with_seq_len(1024).with_layers(33),
+            ModelPreset::mixtral_22b()
+                .with_seq_len(1024)
+                .with_layers(33),
         ],
         TestbedKind::B => vec![
             ModelPreset::gpt2_xl_moe().with_seq_len(256).with_layers(12),
@@ -42,8 +46,8 @@ fn main() {
         }
         println!();
         for preset in presets_for(testbed.kind) {
-            let ds = iteration_time(ScheduleKind::DsMoe, &testbed, &preset)
-                .expect("presets are valid");
+            let ds =
+                iteration_time(ScheduleKind::DsMoe, &testbed, &preset).expect("presets are valid");
             print!("{:<14} {:>12.1}", preset.name, ds);
             for &s in &schedules {
                 let t = iteration_time(s, &testbed, &preset).expect("valid");

@@ -20,9 +20,13 @@ fn main() {
     println!("# Fig. 8 — speedups over DS-MoE with GPipe (N_PP = 2) on Testbed A\n");
     let testbed = Testbed::a();
     let presets = [
-        ModelPreset::gpt2_xl_moe().with_seq_len(2048).with_layers(12),
+        ModelPreset::gpt2_xl_moe()
+            .with_seq_len(2048)
+            .with_layers(12),
         ModelPreset::mixtral_7b().with_seq_len(2048).with_layers(8),
-        ModelPreset::mixtral_22b().with_seq_len(2048).with_layers(32),
+        ModelPreset::mixtral_22b()
+            .with_seq_len(2048)
+            .with_layers(32),
     ];
     print!("{:<14} {:>12}", "model", "DS-MoE(ms)");
     for s in &SCHEDULES {

@@ -12,10 +12,7 @@ use simnet::Testbed;
 
 fn main() {
     println!("# Table 5 — averaged speedups over Tutel on the 1458-config grid\n");
-    println!(
-        "{:<16} {:>10} {:>10}",
-        "Schedule", "Testbed-A", "Testbed-B"
-    );
+    println!("{:<16} {:>10} {:>10}", "Schedule", "Testbed-A", "Testbed-B");
 
     let schedules = [
         ScheduleKind::Tutel,

@@ -56,8 +56,7 @@ fn main() {
     let small = gates(small_embed, cfg.num_experts, cfg.top_k, &mut rng);
     for (gate, small_gate) in priced.iter().zip(&small) {
         // gate GEMM cost per layer, forward + backward (×3 total)
-        let gate_time = testbed.costs.gemm.alpha
-            + gate.flops(tokens) as f64 * testbed.costs.gemm.beta;
+        let gate_time = testbed.costs.gemm.alpha + gate.flops(tokens) * testbed.costs.gemm.beta;
         let per_iter = 3.0 * gate_time * preset.layers as f64;
         let ds = ds_base + per_iter;
         let fs = fs_base + per_iter;

@@ -214,7 +214,11 @@ mod tests {
         };
         let spec = cfg.layer_spec(&tb).unwrap();
         let mut last = f64::INFINITY;
-        for kind in [ScheduleKind::DsMoe, ScheduleKind::Tutel, ScheduleKind::FsMoe] {
+        for kind in [
+            ScheduleKind::DsMoe,
+            ScheduleKind::Tutel,
+            ScheduleKind::FsMoe,
+        ] {
             let t = configured_layer_time(kind, &tb, &spec);
             assert!(t.is_finite() && t > 0.0);
             assert!(t <= last * 1.01, "{kind} regressed: {t} vs {last}");

@@ -220,7 +220,7 @@ impl GroupComm {
     /// divide evenly by the group size.
     pub fn reduce_scatter(&self, data: &[f32]) -> Result<Vec<f32>> {
         let n = self.size();
-        if data.len() % n != 0 {
+        if !data.len().is_multiple_of(n) {
             return Err(CommError::BadBufferLength {
                 op: "reduce_scatter",
                 len: data.len(),
@@ -256,7 +256,7 @@ impl GroupComm {
     /// divide evenly by the group size.
     pub fn all_to_all(&self, data: &[f32]) -> Result<Vec<f32>> {
         let n = self.size();
-        if data.len() % n != 0 {
+        if !data.len().is_multiple_of(n) {
             return Err(CommError::BadBufferLength {
                 op: "all_to_all",
                 len: data.len(),

@@ -79,7 +79,7 @@ impl HybridTopology {
             });
         }
         for (name, size) in [("mp", dims.mp), ("esp", dims.esp)] {
-            if size == 0 || (gpus_per_node % size != 0 && size % gpus_per_node != 0) {
+            if size == 0 || (!gpus_per_node.is_multiple_of(size) && size % gpus_per_node != 0) {
                 return Err(CommError::BadParallelism {
                     reason: format!(
                         "{name} group size {size} incompatible with {gpus_per_node} gpus/node"

@@ -102,7 +102,7 @@ proptest! {
             HybridTopology::dp_group,
         ] {
             let mut membership = vec![None; p];
-            for r in 0..p {
+            for (r, slot) in membership.iter_mut().enumerate() {
                 let g = group_fn(&t, r);
                 prop_assert!(g.contains(&r));
                 // group membership is symmetric: everyone in my group
@@ -111,7 +111,7 @@ proptest! {
                     let gm = group_fn(&t, m);
                     prop_assert_eq!(&g, &gm);
                 }
-                membership[r] = Some(g);
+                *slot = Some(g);
             }
         }
     }

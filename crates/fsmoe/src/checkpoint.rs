@@ -2,18 +2,19 @@
 //!
 //! A [`LayerCheckpoint`] captures every trainable tensor of an
 //! [`MoeLayer`](crate::layer::MoeLayer) — gate projections and expert
-//! weights — as plain serde data, so training state survives process
-//! restarts (and, in the paper's setting, re-scheduling decisions: the
-//! checkpoint is schedule-independent because the data plane is).
+//! weights — as plain data with a JSON wire form, so training state
+//! survives process restarts (and, in the paper's setting,
+//! re-scheduling decisions: the checkpoint is schedule-independent
+//! because the data plane is).
 
-use serde::{Deserialize, Serialize};
+use jsonio::Json;
 use tensor::Tensor;
 
 use crate::layer::MoeLayer;
 use crate::{MoeError, Result};
 
 /// All trainable weights of one MoE layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerCheckpoint {
     /// The gate family the weights belong to (validated on restore).
     pub gate_name: String,
@@ -33,6 +34,101 @@ impl LayerCheckpoint {
                 .flatten()
                 .map(Tensor::num_elements)
                 .sum::<usize>()
+    }
+
+    /// Serialises to JSON. Weights round-trip bit-exactly (the writer
+    /// uses shortest round-trip float formatting).
+    pub fn to_json(&self) -> String {
+        let doc = Json::obj([
+            ("gate_name", Json::from(self.gate_name.as_str())),
+            (
+                "gate",
+                Json::Arr(self.gate.iter().map(tensor_to_json).collect()),
+            ),
+            (
+                "experts",
+                Json::Arr(
+                    self.experts
+                        .iter()
+                        .map(|ws| Json::Arr(ws.iter().map(tensor_to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        doc.to_string().expect("checkpoint weights are finite")
+    }
+
+    /// Parses a checkpoint previously written by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::BadInput`] on malformed JSON or tensor data.
+    pub fn from_json(text: &str) -> Result<LayerCheckpoint> {
+        let doc = Json::parse(text).map_err(bad_json)?;
+        let gate_name = doc
+            .get("gate_name")
+            .and_then(Json::as_str)
+            .map_err(bad_json)?;
+        let gate = doc
+            .get("gate")
+            .and_then(Json::as_arr)
+            .map_err(bad_json)?
+            .iter()
+            .map(tensor_from_json)
+            .collect::<Result<Vec<_>>>()?;
+        let experts = doc
+            .get("experts")
+            .and_then(Json::as_arr)
+            .map_err(bad_json)?
+            .iter()
+            .map(|ws| {
+                ws.as_arr()
+                    .map_err(bad_json)?
+                    .iter()
+                    .map(tensor_from_json)
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(LayerCheckpoint {
+            gate_name: gate_name.to_string(),
+            gate,
+            experts,
+        })
+    }
+}
+
+fn tensor_to_json(t: &Tensor) -> Json {
+    Json::obj([
+        ("dims", Json::from(t.dims().to_vec())),
+        ("data", Json::from(t.data().to_vec())),
+    ])
+}
+
+fn tensor_from_json(value: &Json) -> Result<Tensor> {
+    let dims = value
+        .get("dims")
+        .and_then(Json::as_arr)
+        .map_err(bad_json)?
+        .iter()
+        .map(|d| d.as_usize().map_err(bad_json))
+        .collect::<Result<Vec<_>>>()?;
+    let data = value
+        .get("data")
+        .and_then(Json::as_arr)
+        .map_err(bad_json)?
+        .iter()
+        .map(|v| v.as_f64().map(|f| f as f32).map_err(bad_json))
+        .collect::<Result<Vec<_>>>()?;
+    Tensor::from_vec(data, &dims).map_err(|e| MoeError::BadInput {
+        expected: format!("valid tensor payload: {e}"),
+        actual: dims,
+    })
+}
+
+fn bad_json(e: jsonio::JsonError) -> MoeError {
+    MoeError::BadInput {
+        expected: format!("well-formed checkpoint JSON: {e}"),
+        actual: vec![],
     }
 }
 
@@ -117,23 +213,36 @@ mod tests {
         let mut other_rng = TensorRng::seed_from(999);
         let mut restored = MoeLayer::gshard(&cfg, &mut other_rng).unwrap();
         let before = restored.forward(&input, &mut route_rng).unwrap();
-        assert!(!before.allclose(&expect, 1e-4), "different init must differ");
+        assert!(
+            !before.allclose(&expect, 1e-4),
+            "different init must differ"
+        );
         restored.restore(&snapshot).unwrap();
         let after = restored.forward(&input, &mut route_rng).unwrap();
         assert!(after.allclose(&expect, 1e-5));
     }
 
     #[test]
-    fn checkpoint_survives_serde_round_trip() {
+    fn checkpoint_survives_json_round_trip() {
         let cfg = config();
         let mut rng = TensorRng::seed_from(2);
         let layer = MoeLayer::sigmoid(&cfg, &mut rng).unwrap();
         let snapshot = layer.checkpoint();
-        let json = serde_json::to_string(&snapshot).unwrap();
-        let back: LayerCheckpoint = serde_json::from_str(&json).unwrap();
+        let json = snapshot.to_json();
+        let back = LayerCheckpoint::from_json(&json).unwrap();
         assert_eq!(snapshot, back);
         assert_eq!(back.gate_name, "sigmoid");
         assert!(back.num_params() > 0);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(LayerCheckpoint::from_json("not json").is_err());
+        assert!(LayerCheckpoint::from_json("{}").is_err());
+        assert!(LayerCheckpoint::from_json(
+            r#"{"gate_name":"g","gate":[{"dims":[2,2],"data":[1.0]}],"experts":[]}"#
+        )
+        .is_err());
     }
 
     #[test]

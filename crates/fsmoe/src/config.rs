@@ -4,12 +4,10 @@
 //! per GPU, `L` tokens per sample, `M` embedding size, `H` expert hidden
 //! size, `E` experts, `k` experts per token, `f` the capacity factor.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{MoeError, Result};
 
 /// The expert feed-forward architecture (Table 4's *ffn-type*).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FfnKind {
     /// "simple": the conventional two-layer GPT feed-forward
     /// (`GeLU(x·W1)·W2`) — 2 GEMMs.
@@ -41,7 +39,7 @@ impl std::fmt::Display for FfnKind {
 /// Configuration of one MoE layer.
 ///
 /// Construct through [`MoeConfig::builder`], which validates all fields.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MoeConfig {
     /// Samples per GPU (`B`).
     pub batch_size: usize,
@@ -286,7 +284,11 @@ mod tests {
     #[test]
     fn validation_rejects_bad_fields() {
         assert!(MoeConfig::builder().top_k(0).build().is_err());
-        assert!(MoeConfig::builder().num_experts(2).top_k(3).build().is_err());
+        assert!(MoeConfig::builder()
+            .num_experts(2)
+            .top_k(3)
+            .build()
+            .is_err());
         assert!(MoeConfig::builder().capacity_factor(0.0).build().is_err());
         assert!(MoeConfig::builder()
             .capacity_factor(f64::INFINITY)

@@ -112,7 +112,7 @@ impl Dispatcher for Hier1DH {
 
     fn all_to_all(&self, data: &[f32], ctx: &DispatchCtx<'_>) -> Result<Vec<f32>> {
         let (n1, n2, n) = hier_dims(ctx)?;
-        if data.len() % n != 0 {
+        if !data.len().is_multiple_of(n) {
             return Err(MoeError::Comm(collectives::CommError::BadBufferLength {
                 op: "1dh_a2a",
                 len: data.len(),
@@ -168,7 +168,7 @@ impl Dispatcher for Hier2DH {
 
     fn all_to_all(&self, data: &[f32], ctx: &DispatchCtx<'_>) -> Result<Vec<f32>> {
         let (n1, n2, n) = hier_dims(ctx)?;
-        if data.len() % n != 0 {
+        if !data.len().is_multiple_of(n) {
             return Err(MoeError::Comm(collectives::CommError::BadBufferLength {
                 op: "2dh_a2a",
                 len: data.len(),
@@ -233,9 +233,7 @@ mod tests {
             let data: Vec<f32> = (0..4)
                 .flat_map(|dst| (0..3).map(move |lane| (r * 100 + dst * 10 + lane) as f32))
                 .collect();
-            let direct = NcclA2A
-                .all_to_all(&data, &DispatchCtx::flat(&ep))
-                .unwrap();
+            let direct = NcclA2A.all_to_all(&data, &DispatchCtx::flat(&ep)).unwrap();
             let ctx = DispatchCtx {
                 ep_group: &ep,
                 intra: Some(&intra),

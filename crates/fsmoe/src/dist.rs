@@ -24,7 +24,7 @@ use tensor::{Tensor, TensorRng};
 
 use crate::config::MoeConfig;
 use crate::dispatch::{DispatchCtx, Dispatcher, NcclA2A};
-use crate::expert::{build_expert, Expert, ExpertState};
+use crate::expert::{build_expert, for_each_expert, Expert, ExpertState};
 use crate::gate::{GShardGate, Gate};
 use crate::order::{combine_backward, order_backward, OrderFn, TutelOrdering};
 use crate::routing::Routing;
@@ -71,6 +71,55 @@ impl std::fmt::Debug for DistMoeLayer {
     }
 }
 
+/// Row-layout parameters of the gathered `[esp][ep][expert][slot]`
+/// buffer, detached from the layer so shard workers can share it.
+#[derive(Clone, Copy)]
+struct ShardLayout {
+    m: usize,
+    t: usize,
+    n_esp: usize,
+    n_ep: usize,
+    experts_per_ep: usize,
+}
+
+/// Extracts expert `el`'s rows from the gathered buffer layout.
+fn gather_expert_rows(layout: ShardLayout, gathered: &[f32], el: usize) -> Tensor {
+    let ShardLayout {
+        m,
+        t,
+        n_esp,
+        n_ep,
+        experts_per_ep,
+    } = layout;
+    let mut out = Vec::with_capacity(n_esp * n_ep * t * m);
+    for s in 0..n_esp {
+        for p in 0..n_ep {
+            let row0 = ((s * n_ep + p) * experts_per_ep + el) * t;
+            out.extend_from_slice(&gathered[row0 * m..(row0 + t) * m]);
+        }
+    }
+    Tensor::from_vec(out, &[n_esp * n_ep * t, m]).expect("constructed shape")
+}
+
+/// Scatters expert `el`'s output rows back into the gathered layout.
+fn scatter_expert_rows(layout: ShardLayout, buffer: &mut [f32], el: usize, rows: &Tensor) {
+    let ShardLayout {
+        m,
+        t,
+        n_esp,
+        n_ep,
+        experts_per_ep,
+    } = layout;
+    let mut src = 0usize;
+    for s in 0..n_esp {
+        for p in 0..n_ep {
+            let row0 = ((s * n_ep + p) * experts_per_ep + el) * t;
+            buffer[row0 * m..(row0 + t) * m].copy_from_slice(&rows.data()[src * m..(src + t) * m]);
+            src += t;
+        }
+    }
+}
+
 impl DistMoeLayer {
     /// Builds this rank's slice with a GShard gate.
     ///
@@ -107,7 +156,7 @@ impl DistMoeLayer {
         topo: &HybridTopology,
     ) -> Result<Self> {
         let dims = topo.dims();
-        if config.num_experts % dims.ep != 0 {
+        if !config.num_experts.is_multiple_of(dims.ep) {
             return Err(MoeError::BadConfig {
                 field: "num_experts",
                 reason: format!("{} not divisible by N_EP {}", config.num_experts, dims.ep),
@@ -156,37 +205,16 @@ impl DistMoeLayer {
         self.state.as_ref().map(|s| &s.routing)
     }
 
-    /// Extracts expert `el`'s rows from the gathered buffer layout
-    /// `[esp][ep][expert][slot]`.
-    fn gather_expert_rows(&self, gathered: &[f32], el: usize) -> Tensor {
-        let m = self.config.embed_dim;
-        let t = self.config.capacity();
-        let n_esp = self.esp_group.size();
-        let n_ep = self.ep_group.size();
-        let mut out = Vec::with_capacity(n_esp * n_ep * t * m);
-        for s in 0..n_esp {
-            for p in 0..n_ep {
-                let row0 = ((s * n_ep + p) * self.experts_per_ep + el) * t;
-                out.extend_from_slice(&gathered[row0 * m..(row0 + t) * m]);
-            }
-        }
-        Tensor::from_vec(out, &[n_esp * n_ep * t, m]).expect("constructed shape")
-    }
-
-    /// Scatters expert `el`'s output rows back into the gathered layout.
-    fn scatter_expert_rows(&self, buffer: &mut [f32], el: usize, rows: &Tensor) {
-        let m = self.config.embed_dim;
-        let t = self.config.capacity();
-        let n_esp = self.esp_group.size();
-        let n_ep = self.ep_group.size();
-        let mut src = 0usize;
-        for s in 0..n_esp {
-            for p in 0..n_ep {
-                let row0 = ((s * n_ep + p) * self.experts_per_ep + el) * t;
-                buffer[row0 * m..(row0 + t) * m]
-                    .copy_from_slice(&rows.data()[src * m..(src + t) * m]);
-                src += t;
-            }
+    /// The row layout of the gathered buffer, as a plain-value struct so
+    /// per-shard workers can capture it without touching `self` (whose
+    /// gate/order/dispatcher fields are not `Sync`).
+    fn shard_layout(&self) -> ShardLayout {
+        ShardLayout {
+            m: self.config.embed_dim,
+            t: self.config.capacity(),
+            n_esp: self.esp_group.size(),
+            n_ep: self.ep_group.size(),
+            experts_per_ep: self.experts_per_ep,
         }
     }
 
@@ -221,13 +249,18 @@ impl DistMoeLayer {
         let gathered = self.esp_group.all_gather(&received);
         let gathered_rows = gathered.len() / m;
 
-        // Expert shard computation.
+        // Expert shard computation: local shards are independent, so
+        // they fan out over scoped threads like the single-process layer.
         let mut shard_out = vec![0.0f32; gathered.len()];
+        let layout = self.shard_layout();
+        let shards = &self.shards;
+        let results = for_each_expert(self.experts_per_ep, tensor::par::num_threads(), |el| {
+            let x = gather_expert_rows(layout, &gathered, el);
+            shards[el].forward(&x)
+        })?;
         let mut shard_states = Vec::with_capacity(self.shards.len());
-        for el in 0..self.experts_per_ep {
-            let x = self.gather_expert_rows(&gathered, el);
-            let (y, st) = self.shards[el].forward(&x)?;
-            self.scatter_expert_rows(&mut shard_out, el, &y);
+        for (el, (y, st)) in results.into_iter().enumerate() {
+            scatter_expert_rows(layout, &mut shard_out, el, &y);
             shard_states.push(st);
         }
 
@@ -271,13 +304,17 @@ impl DistMoeLayer {
         let grad_shard_out = self.esp_group.all_gather(&grad_reduced);
         debug_assert_eq!(grad_shard_out.len() / m, state.gathered_rows);
 
-        // Expert shard backward.
+        // Expert shard backward, fanned out like the forward pass.
         let mut grad_gathered = vec![0.0f32; grad_shard_out.len()];
+        let layout = self.shard_layout();
+        let shards = &self.shards;
+        let results = for_each_expert(self.experts_per_ep, tensor::par::num_threads(), |el| {
+            let gy = gather_expert_rows(layout, &grad_shard_out, el);
+            shards[el].backward(&gy, &state.shard_states[el])
+        })?;
         let mut shard_grads = Vec::with_capacity(self.shards.len());
-        for el in 0..self.experts_per_ep {
-            let gy = self.gather_expert_rows(&grad_shard_out, el);
-            let grads = self.shards[el].backward(&gy, &state.shard_states[el])?;
-            self.scatter_expert_rows(&mut grad_gathered, el, &grads.input);
+        for (el, grads) in results.into_iter().enumerate() {
+            scatter_expert_rows(layout, &mut grad_gathered, el, &grads.input);
             shard_grads.push(grads.weights);
         }
 

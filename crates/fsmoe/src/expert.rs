@@ -33,7 +33,11 @@ pub struct ExpertGrads {
 ///
 /// Any `Expert` can be dropped into [`MoeLayer`](crate::layer::MoeLayer),
 /// the analogue of deriving from the paper's `ExpertBase` (Listing 1).
-pub trait Expert: std::fmt::Debug + Send {
+///
+/// Experts are `Sync` so the layer can fan independent experts out over
+/// scoped threads: forward/backward take `&self` (weights are read-only
+/// during compute; updates go through `&mut self` methods afterwards).
+pub trait Expert: std::fmt::Debug + Send + Sync {
     /// Short identifier.
     fn name(&self) -> &'static str;
 
@@ -87,6 +91,44 @@ pub trait Expert: std::fmt::Debug + Send {
     fn shard(&self, shard: usize, num_shards: usize) -> Result<Box<dyn Expert>>;
 }
 
+/// Runs `op(e)` for every expert index on up to `threads` scoped
+/// workers and returns the results in index order, failing fast on the
+/// first error (by index).
+///
+/// This is the per-expert fan-out both the single-process layer and the
+/// distributed layer use for forward and backward: expert FFNs are
+/// independent GEMM chains, so they parallelise without any locking.
+/// With `threads <= 1` (or a single expert) everything runs on the
+/// calling thread, and because each expert's arithmetic is untouched by
+/// the split, results are identical for every worker count.
+pub fn for_each_expert<T, F>(count: usize, threads: usize, op: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let threads = threads.max(1).min(count.max(1));
+    if threads == 1 {
+        return (0..count).map(op).collect();
+    }
+    let mut slots: Vec<Option<Result<T>>> = Vec::new();
+    slots.resize_with(count, || None);
+    let band = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (index, chunk) in slots.chunks_mut(band).enumerate() {
+            let op = &op;
+            scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(op(index * band + offset));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every band worker fills its slots"))
+        .collect()
+}
+
 fn shard_range(hidden: usize, shard: usize, num_shards: usize) -> Result<(usize, usize)> {
     if num_shards == 0 || shard >= num_shards {
         return Err(MoeError::BadConfig {
@@ -94,7 +136,7 @@ fn shard_range(hidden: usize, shard: usize, num_shards: usize) -> Result<(usize,
             reason: format!("shard {shard} of {num_shards}"),
         });
     }
-    if hidden % num_shards != 0 {
+    if !hidden.is_multiple_of(num_shards) {
         return Err(MoeError::BadConfig {
             field: "hidden_dim",
             reason: format!("{hidden} not divisible by {num_shards} shards"),
@@ -394,8 +436,8 @@ mod tests {
         plus.w1.data_mut()[0] += h;
         let mut minus = e.clone();
         minus.w1.data_mut()[0] -= h;
-        let fd = (plus.forward(&x).unwrap().0.sum() - minus.forward(&x).unwrap().0.sum())
-            / (2.0 * h);
+        let fd =
+            (plus.forward(&x).unwrap().0.sum() - minus.forward(&x).unwrap().0.sum()) / (2.0 * h);
         assert!((grads.weights[0].data()[0] - fd).abs() < 5e-2);
     }
 
@@ -403,7 +445,10 @@ mod tests {
     fn shards_sum_to_full_output() {
         let mut rng = TensorRng::seed_from(5);
         for (kind, e) in [
-            ("gpt", Box::new(GptFfn::new(4, 8, &mut rng)) as Box<dyn Expert>),
+            (
+                "gpt",
+                Box::new(GptFfn::new(4, 8, &mut rng)) as Box<dyn Expert>,
+            ),
             ("mixtral", Box::new(MixtralFfn::new(4, 8, &mut rng))),
         ] {
             let x = rng.normal(&[5, 4], 0.0, 1.0);
@@ -446,6 +491,41 @@ mod tests {
         let mut rng = TensorRng::seed_from(8);
         let mut e = MixtralFfn::new(2, 4, &mut rng);
         assert!(e.apply_grads(&[Tensor::zeros(&[2, 4])], 0.1).is_err());
+    }
+
+    #[test]
+    fn for_each_expert_preserves_order_and_errors() {
+        for threads in [1usize, 2, 3, 8] {
+            let out = for_each_expert(5, threads, |e| Ok(e * 10)).unwrap();
+            assert_eq!(out, vec![0, 10, 20, 30, 40], "threads={threads}");
+            let err = for_each_expert(5, threads, |e| {
+                if e >= 3 {
+                    Err(MoeError::NoForwardState)
+                } else {
+                    Ok(e)
+                }
+            });
+            assert!(err.is_err(), "threads={threads}");
+            assert_eq!(for_each_expert(0, threads, |_| Ok(0)).unwrap(), vec![]);
+        }
+    }
+
+    #[test]
+    fn parallel_expert_forward_matches_serial() {
+        let mut rng = TensorRng::seed_from(11);
+        let experts: Vec<Box<dyn Expert>> = (0..4)
+            .map(|_| Box::new(GptFfn::new(6, 12, &mut rng)) as Box<dyn Expert>)
+            .collect();
+        let x = rng.normal(&[8, 6], 0.0, 1.0);
+        let serial =
+            for_each_expert(experts.len(), 1, |e| experts[e].forward(&x).map(|(y, _)| y)).unwrap();
+        for threads in [2, 4, 9] {
+            let parallel = for_each_expert(experts.len(), threads, |e| {
+                experts[e].forward(&x).map(|(y, _)| y)
+            })
+            .unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -82,9 +82,7 @@ impl Gate for GShardGate {
         let probs = masked.softmax()?;
         let experts = self.num_experts;
         route_token_choice(&logits, self.top_k, capacity, |t, idx, _vals| {
-            idx.iter()
-                .map(|&e| probs.data()[t * experts + e])
-                .collect()
+            idx.iter().map(|&e| probs.data()[t * experts + e]).collect()
         })
     }
 
@@ -156,7 +154,9 @@ mod tests {
         let g = GShardGate::new(8, 4, 2, &mut rng).with_noise();
         let input = rng.normal(&[64, 8], 0.0, 0.1); // small logits → noise matters
         let r1 = g.route(&input, 1000, &mut TensorRng::seed_from(1)).unwrap();
-        let r2 = g.route(&input, 1000, &mut TensorRng::seed_from(99)).unwrap();
+        let r2 = g
+            .route(&input, 1000, &mut TensorRng::seed_from(99))
+            .unwrap();
         assert_ne!(r1, r2, "different noise seeds should change routing");
     }
 

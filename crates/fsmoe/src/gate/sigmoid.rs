@@ -110,9 +110,7 @@ mod tests {
     fn input_validation() {
         let mut rng = TensorRng::seed_from(1);
         let g = SigmoidGate::new(4, 3, 1, &mut rng);
-        assert!(g
-            .route(&Tensor::zeros(&[2, 5]), 10, &mut rng)
-            .is_err());
+        assert!(g.route(&Tensor::zeros(&[2, 5]), 10, &mut rng).is_err());
         assert!(g.route(&Tensor::zeros(&[8]), 10, &mut rng).is_err());
     }
 }

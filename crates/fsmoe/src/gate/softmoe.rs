@@ -52,9 +52,7 @@ impl Gate for SoftMoeGate {
         let probs = logits.softmax()?; // FULL softmax — soft weights
         let experts = self.num_experts;
         route_token_choice(&logits, self.top_k, capacity, |t, idx, _| {
-            idx.iter()
-                .map(|&e| probs.data()[t * experts + e])
-                .collect()
+            idx.iter().map(|&e| probs.data()[t * experts + e]).collect()
         })
     }
 

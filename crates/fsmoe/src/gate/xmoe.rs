@@ -59,11 +59,7 @@ impl XMoeGate {
         let projected = input.matmul(&self.w_proj)?.l2_normalize(1e-8)?;
         // normalise expert embeddings column-wise: transpose, normalise
         // rows, transpose back
-        let embed_norm = self
-            .w_embed
-            .transpose()?
-            .l2_normalize(1e-8)?
-            .transpose()?;
+        let embed_norm = self.w_embed.transpose()?.l2_normalize(1e-8)?.transpose()?;
         Ok(projected.matmul(&embed_norm)?)
     }
 }
@@ -84,9 +80,7 @@ impl Gate for XMoeGate {
         let probs = sharpened.keep_top_k(self.top_k)?.softmax()?;
         let experts = self.num_experts;
         route_token_choice(&sharpened, self.top_k, capacity, |t, idx, _| {
-            idx.iter()
-                .map(|&e| probs.data()[t * experts + e])
-                .collect()
+            idx.iter().map(|&e| probs.data()[t * experts + e]).collect()
         })
     }
 

@@ -21,7 +21,7 @@
 use tensor::{Tensor, TensorRng};
 
 use crate::config::MoeConfig;
-use crate::expert::{build_expert, Expert, ExpertState};
+use crate::expert::{build_expert, for_each_expert, Expert, ExpertState};
 use crate::gate::{ExpertChoiceGate, GShardGate, Gate, SigmoidGate, SoftMoeGate, XMoeGate};
 use crate::hooks::{MoeHooks, NoopHooks};
 use crate::order::{combine_backward, order_backward, OrderFn, TutelOrdering};
@@ -223,9 +223,7 @@ impl MoeLayer {
         let mut input = input.clone();
         self.hooks.before_moe_start(&mut input)?;
 
-        let routing = self
-            .gate
-            .route(&input, self.config.capacity(), rng)?;
+        let routing = self.gate.route(&input, self.config.capacity(), rng)?;
         let mut buffer = self.order.order(&input, &routing)?;
         self.hooks.before_dispatch(&mut buffer, &routing)?;
         // single-process: dispatch is the identity (all experts local)
@@ -234,10 +232,15 @@ impl MoeLayer {
         let t = routing.capacity();
         let m = self.config.embed_dim;
         let mut expert_out = Tensor::zeros(&[routing.num_experts() * t, m]);
-        let mut expert_states = Vec::with_capacity(self.experts.len());
-        for (e, expert) in self.experts.iter().enumerate() {
+        // independent experts fan out over scoped threads (serial when
+        // only one worker is available)
+        let experts = &self.experts;
+        let results = for_each_expert(experts.len(), tensor::par::num_threads(), |e| {
             let slice = buffer.slice_rows(e * t, (e + 1) * t)?;
-            let (y, st) = expert.forward(&slice)?;
+            experts[e].forward(&slice)
+        })?;
+        let mut expert_states = Vec::with_capacity(self.experts.len());
+        for (e, (y, st)) in results.into_iter().enumerate() {
             expert_out.data_mut()[e * t * m..(e + 1) * t * m].copy_from_slice(y.data());
             expert_states.push(st);
         }
@@ -268,10 +271,13 @@ impl MoeLayer {
         let t = routing.capacity();
         let m = self.config.embed_dim;
         let mut grad_dispatch = Tensor::zeros(&[routing.num_experts() * t, m]);
-        let mut expert_grads = Vec::with_capacity(self.experts.len());
-        for (e, expert) in self.experts.iter().enumerate() {
+        let experts = &self.experts;
+        let results = for_each_expert(experts.len(), tensor::par::num_threads(), |e| {
             let gslice = grad_buffer.slice_rows(e * t, (e + 1) * t)?;
-            let grads = expert.backward(&gslice, &state.expert_states[e])?;
+            experts[e].backward(&gslice, &state.expert_states[e])
+        })?;
+        let mut expert_grads = Vec::with_capacity(self.experts.len());
+        for (e, grads) in results.into_iter().enumerate() {
             grad_dispatch.data_mut()[e * t * m..(e + 1) * t * m]
                 .copy_from_slice(grads.input.data());
             expert_grads.push(grads.weights);
@@ -352,7 +358,12 @@ mod tests {
         let mut layer_a = MoeLayer::gshard(&config, &mut rng_a).unwrap();
         let mut rng_b = TensorRng::seed_from(7);
         let mut layer_b = {
-            let gate = GShardGate::new(config.embed_dim, config.num_experts, config.top_k, &mut rng_b);
+            let gate = GShardGate::new(
+                config.embed_dim,
+                config.num_experts,
+                config.top_k,
+                &mut rng_b,
+            );
             let experts = (0..config.num_experts)
                 .map(|_| build_expert(config.ffn, config.embed_dim, config.hidden_dim, &mut rng_b))
                 .collect();
@@ -392,14 +403,18 @@ mod tests {
         // finite difference on one weight of expert 0 (routing is
         // independent of expert weights, so fd is exact here)
         let h = 1e-2f32;
-        let loss = |layer: &mut MoeLayer, rng: &mut TensorRng| {
-            layer.forward(&input, rng).unwrap().sum()
-        };
+        let loss =
+            |layer: &mut MoeLayer, rng: &mut TensorRng| layer.forward(&input, rng).unwrap().sum();
         // nudge w1[0][0] of expert 0 via apply_grads trick
         let mut delta: Vec<Vec<Tensor>> = layer
             .experts()
             .iter()
-            .map(|e| e.weights().iter().map(|w| Tensor::zeros(w.dims())).collect())
+            .map(|e| {
+                e.weights()
+                    .iter()
+                    .map(|w| Tensor::zeros(w.dims()))
+                    .collect()
+            })
             .collect();
         delta[0][0].data_mut()[0] = 1.0;
         let zero = MoeGrads {
@@ -438,7 +453,12 @@ mod tests {
         let mut plain = MoeLayer::gshard(&config, &mut rng_a).unwrap();
         let mut rng_b = TensorRng::seed_from(4);
         let mut quantized = {
-            let gate = GShardGate::new(config.embed_dim, config.num_experts, config.top_k, &mut rng_b);
+            let gate = GShardGate::new(
+                config.embed_dim,
+                config.num_experts,
+                config.top_k,
+                &mut rng_b,
+            );
             let experts = (0..config.num_experts)
                 .map(|_| build_expert(config.ffn, config.embed_dim, config.hidden_dim, &mut rng_b))
                 .collect();

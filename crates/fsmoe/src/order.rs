@@ -274,7 +274,10 @@ mod tests {
         let routing = b.finish();
         let mut rng = TensorRng::seed_from(2);
         let input = rng.normal(&[4, 3], 0.0, 1.0);
-        for ord in [&GShardOrdering::new() as &dyn OrderFn, &TutelOrdering::new()] {
+        for ord in [
+            &GShardOrdering::new() as &dyn OrderFn,
+            &TutelOrdering::new(),
+        ] {
             let buf = ord.order(&input, &routing).unwrap();
             let back = ord.inverse(&buf, &routing).unwrap();
             assert!(back.allclose(&input, 1e-5), "{}", ord.name());

@@ -6,10 +6,8 @@
 //! assignment is discarded), matching GShard/Tutel semantics when
 //! `f ≠ *`.
 
-use serde::{Deserialize, Serialize};
-
 /// One token-to-expert assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Assignment {
     /// Source token index (row of the layer input).
     pub token: usize,
@@ -22,7 +20,7 @@ pub struct Assignment {
 }
 
 /// A complete routing decision for one batch of tokens.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Routing {
     num_experts: usize,
     capacity: usize,
@@ -245,7 +243,8 @@ mod tests {
             b.assign(t, e, 1.0);
         }
         let r = b.finish();
-        let keys: Vec<(usize, usize)> = r.assignments().iter().map(|a| (a.expert, a.slot)).collect();
+        let keys: Vec<(usize, usize)> =
+            r.assignments().iter().map(|a| (a.expert, a.slot)).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
@@ -291,7 +290,10 @@ mod tests {
 
     #[test]
     fn balance_loss_edge_cases() {
-        assert_eq!(RoutingBuilder::new(0, 3, 1).finish().load_balance_loss(), 0.0);
+        assert_eq!(
+            RoutingBuilder::new(0, 3, 1).finish().load_balance_loss(),
+            0.0
+        );
         let mut b = RoutingBuilder::new(1, 2, 1);
         b.assign(0, 1, 0.0); // zero-weight assignment
         assert_eq!(b.finish().load_balance_loss(), 0.0);

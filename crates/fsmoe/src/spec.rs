@@ -8,7 +8,6 @@
 //! [`MoeConfig`] and the parallel layout, per GPU per layer.
 
 use collectives::ParallelDims;
-use serde::{Deserialize, Serialize};
 
 use crate::config::MoeConfig;
 
@@ -19,7 +18,7 @@ pub const F32_BYTES: f64 = 4.0;
 ///
 /// The backward phase doubles the expert workload (weight grad + input
 /// grad, §4.4) — see [`MoeLayerSpec::backward`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MoeLayerSpec {
     /// AlltoAll dispatch (and combine) message volume, bytes.
     pub n_a2a: f64,

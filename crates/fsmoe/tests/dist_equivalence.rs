@@ -120,7 +120,12 @@ fn distributed_weight_grads_match_accumulated_reference() {
     let mut acc: Vec<Vec<Tensor>> = ref_layer
         .experts()
         .iter()
-        .map(|e| e.weights().iter().map(|w| Tensor::zeros(w.dims())).collect())
+        .map(|e| {
+            e.weights()
+                .iter()
+                .map(|w| Tensor::zeros(w.dims()))
+                .collect()
+        })
         .collect();
     for r in 0..4 {
         let x = input_block(&cfg, r);

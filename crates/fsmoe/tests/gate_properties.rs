@@ -11,7 +11,13 @@ fn gates(embed: usize, experts: usize, k: usize, seed: u64) -> Vec<Box<dyn Gate>
     vec![
         Box::new(GShardGate::new(embed, experts, k, &mut rng)),
         Box::new(SigmoidGate::new(embed, experts, k, &mut rng)),
-        Box::new(XMoeGate::new(embed, (embed / 2).max(2), experts, k, &mut rng)),
+        Box::new(XMoeGate::new(
+            embed,
+            (embed / 2).max(2),
+            experts,
+            k,
+            &mut rng,
+        )),
         Box::new(SoftMoeGate::new(embed, experts, k, &mut rng)),
         Box::new(ExpertChoiceGate::new(embed, experts, &mut rng)),
     ]

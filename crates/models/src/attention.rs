@@ -58,7 +58,7 @@ impl MultiHeadAttention {
     ///
     /// Returns an error when `heads` does not divide `embed_dim`.
     pub fn new(embed_dim: usize, heads: usize, rng: &mut TensorRng) -> Result<Self> {
-        if heads == 0 || embed_dim % heads != 0 {
+        if heads == 0 || !embed_dim.is_multiple_of(heads) {
             return Err(MoeError::BadConfig {
                 field: "heads",
                 reason: format!("{heads} must divide embed_dim {embed_dim}"),

@@ -1,13 +1,12 @@
 //! Per-operation time breakdown of a transformer layer (Table 2).
 
 use scheduler::{MoePerfModel, Phase};
-use serde::{Deserialize, Serialize};
 use simnet::OpCosts;
 
 use crate::layerspec::{attention_backward_time, attention_forward_time, TransformerLayerSpec};
 
 /// One row of the Table 2 breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BreakdownRow {
     /// Operation label.
     pub op: String,
@@ -18,7 +17,7 @@ pub struct BreakdownRow {
 }
 
 /// The full per-phase breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerBreakdown {
     /// Rows in the paper's column order.
     pub rows: Vec<BreakdownRow>,

@@ -59,7 +59,14 @@ pub fn plan_iteration(
 ) -> IterationPlan {
     let moe = &spec.moe;
     let fwd_model = MoePerfModel::new(
-        costs, moe.n_a2a, moe.n_ag, moe.n_rs, moe.n_exp, moe.gemms, Phase::Forward, 0.0,
+        costs,
+        moe.n_a2a,
+        moe.n_ag,
+        moe.n_rs,
+        moe.n_exp,
+        moe.gemms,
+        Phase::Forward,
+        0.0,
     );
     let bwd_base = MoePerfModel::new(
         costs,
@@ -98,10 +105,10 @@ pub fn plan_iteration(
             // fixed 30 MB buckets behind the MoE dispatches
             let chunk_time = ar.time(LINA_CHUNK_BYTES);
             let mut carry = 0.0f64;
-            for i in 1..layers {
+            for slot in gar_in_moe.iter_mut().take(layers).skip(1) {
                 carry += bytes;
                 while carry >= LINA_CHUNK_BYTES {
-                    gar_in_moe[i].push(chunk_time);
+                    slot.push(chunk_time);
                     carry -= LINA_CHUNK_BYTES;
                 }
             }
@@ -135,10 +142,7 @@ pub fn plan_iteration(
     }
 
     let r_fwd = kind.pipeline_degree(&fwd_model);
-    let r_bwd = bwd_models
-        .iter()
-        .map(|m| kind.pipeline_degree(m))
-        .collect();
+    let r_bwd = bwd_models.iter().map(|m| kind.pipeline_degree(m)).collect();
     IterationPlan {
         kind,
         layers,
@@ -162,12 +166,7 @@ pub fn build_iteration_graph(plan: &IterationPlan) -> (TaskGraph, StreamSet) {
 
     // Forward.
     for l in 0..plan.layers {
-        let attn = graph.add_task(
-            format!("f{l}.attn"),
-            streams.compute,
-            plan.attn_fwd,
-            &prev,
-        );
+        let attn = graph.add_task(format!("f{l}.attn"), streams.compute, plan.attn_fwd, &prev);
         let lowered = lower_moe_layer(
             plan.kind,
             &mut graph,
@@ -205,12 +204,7 @@ pub fn build_iteration_graph(plan: &IterationPlan) -> (TaskGraph, StreamSet) {
             // occupies the inter-node stream alongside the dense
             // backward; later layers contend via issue order, they do
             // not data-depend on it
-            let _ = graph.add_task(
-                format!("b{i}.gar{j}"),
-                streams.inter,
-                t,
-                &lowered.outputs,
-            );
+            let _ = graph.add_task(format!("b{i}.gar{j}"), streams.inter, t, &lowered.outputs);
         }
     }
 
@@ -266,8 +260,14 @@ mod tests {
         let fsmoe = t[&ScheduleKind::FsMoe];
         let noiio = t[&ScheduleKind::FsMoeNoIio];
         assert!(tutel <= ds * 1.001, "Tutel {tutel} vs DS {ds}");
-        assert!(improved <= tutel * 1.001, "Improved {improved} vs Tutel {tutel}");
-        assert!(noiio <= improved * 1.01, "NoIIO {noiio} vs Improved {improved}");
+        assert!(
+            improved <= tutel * 1.001,
+            "Improved {improved} vs Tutel {tutel}"
+        );
+        assert!(
+            noiio <= improved * 1.01,
+            "NoIIO {noiio} vs Improved {improved}"
+        );
         assert!(fsmoe <= noiio * 1.001, "FSMoE {fsmoe} vs NoIIO {noiio}");
         assert!(fsmoe < ds, "FSMoE must strictly beat DS-MoE");
     }

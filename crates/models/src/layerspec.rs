@@ -3,11 +3,10 @@
 use collectives::ParallelDims;
 use fsmoe::config::MoeConfig;
 use fsmoe::spec::{MoeLayerSpec, F32_BYTES};
-use serde::{Deserialize, Serialize};
 use simnet::OpCosts;
 
 /// The workload of one transformer layer (attention + MoE) on one GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransformerLayerSpec {
     /// Attention forward FLOPs per GPU.
     pub attn_flops: f64,
@@ -114,8 +113,7 @@ mod tests {
         let costs = Testbed::a().costs;
         let s = spec();
         assert!(
-            (attention_backward_time(&costs, &s) - 2.0 * attention_forward_time(&costs, &s))
-                .abs()
+            (attention_backward_time(&costs, &s) - 2.0 * attention_forward_time(&costs, &s)).abs()
                 < 1e-12
         );
     }

@@ -68,13 +68,13 @@ pub fn gpipe_iteration_time(
     n_pp: usize,
     micro_batches: usize,
 ) -> fsmoe::Result<f64> {
-    if n_pp == 0 || preset.layers % n_pp != 0 {
+    if n_pp == 0 || !preset.layers.is_multiple_of(n_pp) {
         return Err(fsmoe::MoeError::BadConfig {
             field: "n_pp",
             reason: format!("{} layers not divisible by {n_pp} stages", preset.layers),
         });
     }
-    if micro_batches == 0 || preset.seq_len % micro_batches != 0 {
+    if micro_batches == 0 || !preset.seq_len.is_multiple_of(micro_batches) {
         return Err(fsmoe::MoeError::BadConfig {
             field: "micro_batches",
             reason: format!(
@@ -85,9 +85,7 @@ pub fn gpipe_iteration_time(
     }
     let stage_nodes = (testbed.nodes / n_pp).max(1);
     let stage_testbed = testbed.with_nodes(stage_nodes);
-    let micro = preset
-        .clone()
-        .with_seq_len(preset.seq_len / micro_batches);
+    let micro = preset.clone().with_seq_len(preset.seq_len / micro_batches);
     let layers_per_stage = preset.layers / n_pp;
 
     let fwd = phase_makespan(kind, &stage_testbed, &micro, layers_per_stage, true)?;
@@ -96,8 +94,7 @@ pub fn gpipe_iteration_time(
     // activation transfer: tokens × M × 4 bytes / MP shard over the
     // inter-node link
     let dims = ModelPreset::dims_for(&stage_testbed);
-    let bytes =
-        (micro.batch_size * micro.seq_len * micro.embed_dim) as f64 * 4.0 / dims.mp as f64;
+    let bytes = (micro.batch_size * micro.seq_len * micro.embed_dim) as f64 * 4.0 / dims.mp as f64;
     let times = StageTimes {
         forward: fwd,
         backward: bwd,
@@ -115,6 +112,9 @@ pub fn gpipe_iteration_time(
 
     // forward wave
     let mut fwd_done = vec![vec![None; micro_batches]; n_pp];
+    // j indexes two different stage rows of fwd_done, so enumerate
+    // cannot replace it
+    #[allow(clippy::needless_range_loop)]
     for j in 0..micro_batches {
         for s in 0..n_pp {
             let mut deps: Vec<simnet::TaskId> = Vec::new();
@@ -195,10 +195,7 @@ mod tests {
         let p = preset();
         let pp = gpipe_iteration_time(ScheduleKind::Tutel, &tb, &p, 1, 1).unwrap();
         let flat = crate::iteration::iteration_time(ScheduleKind::Tutel, &tb, &p).unwrap();
-        assert!(
-            (pp - flat).abs() / flat < 0.05,
-            "pp {pp} vs flat {flat}"
-        );
+        assert!((pp - flat).abs() / flat < 0.05, "pp {pp} vs flat {flat}");
     }
 
     #[test]

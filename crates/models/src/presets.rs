@@ -9,13 +9,12 @@
 
 use collectives::ParallelDims;
 use fsmoe::config::{FfnKind, MoeConfig};
-use serde::{Deserialize, Serialize};
 use simnet::Testbed;
 
 use crate::layerspec::TransformerLayerSpec;
 
 /// A named model shape plus experiment-level knobs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelPreset {
     /// Human-readable name.
     pub name: String,

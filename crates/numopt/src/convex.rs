@@ -84,10 +84,7 @@ pub fn minimize_golden<F: Fn(f64) -> f64>(
         }
     }
     let x = 0.5 * (a + b);
-    Ok(GoldenResult {
-        x,
-        value: eval(x)?,
-    })
+    Ok(GoldenResult { x, value: eval(x)? })
 }
 
 /// Finds the best integer in `[lo, hi]` near a continuous minimiser.

@@ -102,13 +102,15 @@ impl DifferentialEvolution {
             .map(|_| {
                 self.bounds
                     .iter()
-                    .map(|&(lo, hi)| {
-                        if lo == hi {
-                            lo
-                        } else {
-                            rng.gen_range(lo..hi)
-                        }
-                    })
+                    .map(
+                        |&(lo, hi)| {
+                            if lo == hi {
+                                lo
+                            } else {
+                                rng.gen_range(lo..hi)
+                            }
+                        },
+                    )
                     .collect()
             })
             .collect();
@@ -220,11 +222,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_config() {
-        assert!(
-            DifferentialEvolution::new(vec![], DeConfig::default())
-                .minimize(|_| 0.0)
-                .is_err()
-        );
+        assert!(DifferentialEvolution::new(vec![], DeConfig::default())
+            .minimize(|_| 0.0)
+            .is_err());
         assert!(
             DifferentialEvolution::new(vec![(1.0, 0.0)], DeConfig::default())
                 .minimize(|_| 0.0)
@@ -234,10 +234,8 @@ mod tests {
             population: 3,
             ..DeConfig::default()
         };
-        assert!(
-            DifferentialEvolution::new(vec![(0.0, 1.0)], small_pop)
-                .minimize(|_| 0.0)
-                .is_err()
-        );
+        assert!(DifferentialEvolution::new(vec![(0.0, 1.0)], small_pop)
+            .minimize(|_| 0.0)
+            .is_err());
     }
 }

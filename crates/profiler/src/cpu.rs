@@ -26,7 +26,17 @@ pub struct GemmSample {
 
 /// Times square GEMMs of the given dimensions (`runs` repetitions each,
 /// best-of to suppress scheduler noise) and returns the samples.
+///
+/// Uses the default (parallel) matmul path, so the fitted α–β costs
+/// price what the data plane actually runs — including the
+/// `TENSOR_THREADS` fan-out.
 pub fn measure_gemm(dims: &[usize], runs: usize) -> Vec<GemmSample> {
+    measure_gemm_with_threads(dims, runs, tensor::par::num_threads())
+}
+
+/// [`measure_gemm`] pinned to an explicit GEMM worker count, for
+/// profiling serial-vs-parallel throughput on the same machine.
+pub fn measure_gemm_with_threads(dims: &[usize], runs: usize, threads: usize) -> Vec<GemmSample> {
     let mut rng = TensorRng::seed_from(0xBEEF);
     dims.iter()
         .map(|&d| {
@@ -35,7 +45,7 @@ pub fn measure_gemm(dims: &[usize], runs: usize) -> Vec<GemmSample> {
             let mut best = f64::INFINITY;
             for _ in 0..runs.max(1) {
                 let start = Instant::now();
-                let c = a.matmul(&b).expect("square matmul");
+                let c = a.matmul_with_threads(&b, threads).expect("square matmul");
                 // keep the result observable so the multiply cannot be
                 // optimised away
                 std::hint::black_box(c.data()[0]);
@@ -56,7 +66,20 @@ pub fn measure_gemm(dims: &[usize], runs: usize) -> Vec<GemmSample> {
 ///
 /// Propagates fit errors for degenerate dimension lists.
 pub fn profile_cpu_gemm(dims: &[usize], runs: usize) -> numopt::Result<FittedModel> {
-    let samples = measure_gemm(dims, runs);
+    profile_cpu_gemm_with_threads(dims, runs, tensor::par::num_threads())
+}
+
+/// [`profile_cpu_gemm`] pinned to an explicit GEMM worker count.
+///
+/// # Errors
+///
+/// Propagates fit errors for degenerate dimension lists.
+pub fn profile_cpu_gemm_with_threads(
+    dims: &[usize],
+    runs: usize,
+    threads: usize,
+) -> numopt::Result<FittedModel> {
+    let samples = measure_gemm_with_threads(dims, runs, threads);
     fit_cost_model(
         &samples
             .iter()
@@ -94,5 +117,14 @@ mod tests {
     fn degenerate_dims_error() {
         assert!(profile_cpu_gemm(&[], 1).is_err());
         assert!(profile_cpu_gemm(&[32], 1).is_err());
+    }
+
+    #[test]
+    fn thread_pinned_profiling_measures_positive_times() {
+        for threads in [1usize, 2] {
+            let samples = measure_gemm_with_threads(&[16, 64], 2, threads);
+            assert_eq!(samples.len(), 2);
+            assert!(samples.iter().all(|s| s.millis > 0.0), "threads={threads}");
+        }
     }
 }

@@ -14,12 +14,10 @@
 //! The case conditions partition the configuration space: for any
 //! `(model, r)` exactly one case applies (verified by a property test).
 
-use serde::{Deserialize, Serialize};
-
 use crate::perf::MoePerfModel;
 
 /// Which of the four §4.2 scheduling cases applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CaseId {
     /// Inter-node communications dominate (Fig. 4a).
     Case1,
@@ -94,7 +92,11 @@ impl Predicates {
             q6,
             q7,
         } = *self;
-        let case1 = (q1 && !q2 && q4) || (q1 && q2 && q5) || (!q1 && !q3 && q6) || (!q1 && q3 && q7);
+        // written to mirror the paper's four-case predicate table, not
+        // minimised boolean form
+        #[allow(clippy::nonminimal_bool)]
+        let case1 =
+            (q1 && !q2 && q4) || (q1 && q2 && q5) || (!q1 && !q3 && q6) || (!q1 && q3 && q7);
         if case1 {
             CaseId::Case1
         } else if (q1 && q2 && !q5) || (!q1 && q3 && !q7) {
@@ -146,7 +148,7 @@ pub fn t_olp_moe(m: &MoePerfModel, r: u32) -> f64 {
 mod tests {
     use super::*;
     use crate::perf::Phase;
-    use simnet::{OpCosts, CostModel};
+    use simnet::{CostModel, OpCosts};
 
     fn costs() -> OpCosts {
         OpCosts {

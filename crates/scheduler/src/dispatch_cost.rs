@@ -25,11 +25,10 @@
 //! dominates (small messages, the regime the NCCL 2.12 blog post and
 //! Hetu target) and lose once β·bytes dominates.
 
-use serde::{Deserialize, Serialize};
 use simnet::CostModel;
 
 /// Which AlltoAll algorithm to price.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum A2aAlgorithm {
     /// Flat NCCL AlltoAll.
     Direct,
@@ -41,8 +40,11 @@ pub enum A2aAlgorithm {
 
 impl A2aAlgorithm {
     /// All variants.
-    pub const ALL: [A2aAlgorithm; 3] =
-        [A2aAlgorithm::Direct, A2aAlgorithm::Hier1dh, A2aAlgorithm::Hier2dh];
+    pub const ALL: [A2aAlgorithm; 3] = [
+        A2aAlgorithm::Direct,
+        A2aAlgorithm::Hier1dh,
+        A2aAlgorithm::Hier2dh,
+    ];
 
     /// Display name matching the paper's §3.1 list.
     pub fn name(self) -> &'static str {
@@ -55,7 +57,7 @@ impl A2aAlgorithm {
 }
 
 /// The priced phases of one AlltoAll.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct A2aCost {
     /// Time on the inter-node link, ms.
     pub inter: f64,
@@ -89,7 +91,11 @@ pub fn a2a_cost(
     let n = nodes as f64;
     let g = gpus_per_node as f64;
     let cross = if nodes > 1 { (n - 1.0) / n } else { 0.0 };
-    let local = if gpus_per_node > 1 { (g - 1.0) / g } else { 0.0 };
+    let local = if gpus_per_node > 1 {
+        (g - 1.0) / g
+    } else {
+        0.0
+    };
     match algo {
         A2aAlgorithm::Direct => A2aCost {
             inter: if nodes > 1 {

@@ -134,13 +134,13 @@ pub fn partition_gradients(
             match solver.minimize(objective) {
                 Ok(result) => {
                     let total: f64 = result.x.iter().sum();
-                    for i in 0..n {
+                    for (b, &xi) in bytes.iter_mut().zip(&result.x) {
                         let extra = if total > 0.0 {
-                            remaining * result.x[i] / total
+                            remaining * xi / total
                         } else {
                             remaining / n as f64
                         };
-                        bytes[i] += extra;
+                        *b += extra;
                     }
                 }
                 Err(_) => {

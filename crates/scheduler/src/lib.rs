@@ -32,5 +32,7 @@ pub use cases::{t_moe, t_olp_moe, CaseId, Predicates};
 pub use dispatch_cost::{a2a_cost, best_a2a_algorithm, A2aAlgorithm, A2aCost};
 pub use gradient::{partition_gradients, GeneralizedLayer, GradientPartition};
 pub use lowering::{lower_fsmoe_schedule, LoweredSchedule, StreamSet};
-pub use optimize::{exhaustive_best, find_optimal_pipeline_degree, PipelineSolution, MAX_PIPELINE_DEGREE};
+pub use optimize::{
+    exhaustive_best, find_optimal_pipeline_degree, PipelineSolution, MAX_PIPELINE_DEGREE,
+};
 pub use perf::{MoePerfModel, Phase};

@@ -173,7 +173,16 @@ mod tests {
     #[test]
     fn case2_simulation_matches_closed_form() {
         // expert-dominated
-        let m = MoePerfModel::new(&costs(), 1.0e5, 1.0e5, 1.0e5, 1.0e12, 2, Phase::Forward, 0.0);
+        let m = MoePerfModel::new(
+            &costs(),
+            1.0e5,
+            1.0e5,
+            1.0e5,
+            1.0e12,
+            2,
+            Phase::Forward,
+            0.0,
+        );
         for r in [1u32, 2, 4, 8] {
             let (formula, case) = t_moe(&m, r);
             assert_eq!(case, CaseId::Case2);
@@ -205,8 +214,16 @@ mod tests {
     #[test]
     fn case1_simulation_matches_closed_form() {
         // Gradient-AllReduce dominated backward
-        let m =
-            MoePerfModel::new(&costs(), 2.0e6, 2.0e6, 2.0e6, 1.0e8, 2, Phase::Backward, 50.0);
+        let m = MoePerfModel::new(
+            &costs(),
+            2.0e6,
+            2.0e6,
+            2.0e6,
+            1.0e8,
+            2,
+            Phase::Backward,
+            50.0,
+        );
         let r = 2;
         let (formula, case) = t_moe(&m, r);
         assert_eq!(case, CaseId::Case1);
@@ -242,8 +259,16 @@ mod tests {
             (2.0e6, 1.0e9, 10.0),
             (3.0e7, 1.0e8, 2.0),
         ] {
-            let m =
-                MoePerfModel::new(&costs(), n_a2a, n_a2a, n_a2a, n_exp, 2, Phase::Backward, gar);
+            let m = MoePerfModel::new(
+                &costs(),
+                n_a2a,
+                n_a2a,
+                n_a2a,
+                n_exp,
+                2,
+                Phase::Backward,
+                gar,
+            );
             let gar_vec: Vec<f64> = if gar > 0.0 { vec![gar] } else { vec![] };
             let chosen = find_optimal_pipeline_degree(&m);
             let sim_chosen = simulate(&m, chosen.r, &gar_vec);
@@ -266,7 +291,16 @@ mod tests {
     fn gar_pieces_share_the_inter_link() {
         // total inter-link busy time includes the GAR pieces — they
         // cannot overlap the AlltoAlls on the same link
-        let m = MoePerfModel::new(&costs(), 4.0e6, 4.0e6, 4.0e6, 1.0e8, 2, Phase::Backward, 0.0);
+        let m = MoePerfModel::new(
+            &costs(),
+            4.0e6,
+            4.0e6,
+            4.0e6,
+            1.0e8,
+            2,
+            Phase::Backward,
+            0.0,
+        );
         let mut g = TaskGraph::new();
         let s = StreamSet::add_to(&mut g);
         let r = 2;

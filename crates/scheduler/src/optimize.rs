@@ -9,8 +9,6 @@
 //! degree). A full integer scan (`exhaustive_best`) provides the ground
 //! truth the property tests compare against.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cases::{case_objective, t_moe, CaseId, Predicates};
 use crate::perf::MoePerfModel;
 
@@ -19,7 +17,7 @@ use crate::perf::MoePerfModel;
 pub const MAX_PIPELINE_DEGREE: u32 = 64;
 
 /// The optimizer's output: degree, predicted time, active case.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineSolution {
     /// Chosen pipeline degree `r`.
     pub r: u32,
@@ -58,7 +56,7 @@ pub fn find_optimal_pipeline_degree(m: &MoePerfModel) -> PipelineSolution {
             continue;
         }
         let value = case_objective(m, case, r_int);
-        if best.map_or(true, |b| value < b.t_moe) {
+        if best.is_none_or(|b| value < b.t_moe) {
             best = Some(PipelineSolution {
                 r: r_int,
                 t_moe: value,

@@ -1,6 +1,5 @@
 //! Per-task performance models (paper §4.1, Eq. 1).
 
-use serde::{Deserialize, Serialize};
 use simnet::{CostModel, OpCosts};
 
 /// Which training phase a model describes.
@@ -8,7 +7,7 @@ use simnet::{CostModel, OpCosts};
 /// Backward propagation computes the gradient of both the weights and
 /// the input — two GEMMs per forward GEMM — so the expert startup term
 /// and workload double (§4.4). `t_gar` is zero in the forward phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Forward pass.
     Forward,
@@ -32,7 +31,7 @@ impl Phase {
 /// `t_{*,r} = α_* + (n_*/r)·β_*` for AlltoAll, AllGather, ReduceScatter
 /// and expert computation, where `α_exp`/`β_exp` absorb the number of
 /// identical GEMMs per expert application.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MoePerfModel {
     /// AlltoAll model (inter-node), workload [`MoePerfModel::n_a2a`].
     pub a2a: CostModel,
@@ -64,6 +63,7 @@ impl MoePerfModel {
     /// the paper derives `α_exp = gemms·α_gemm` (and the phase doubles
     /// the GEMM count in backward). `β_exp` stays the per-FLOP GEMM rate,
     /// with the workload `n_exp` carrying the volume scaling.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         costs: &OpCosts,
         n_a2a: f64,
@@ -129,14 +129,9 @@ mod tests {
     fn model(phase: Phase) -> MoePerfModel {
         let tb = Testbed::b();
         MoePerfModel::new(
-            &tb.costs,
-            4.0e6, // 4 MB
-            4.0e6,
-            4.0e6,
-            2.0e9, // 2 GFLOP
-            2,
-            phase,
-            0.0,
+            &tb.costs, 4.0e6, // 4 MB
+            4.0e6, 4.0e6, 2.0e9, // 2 GFLOP
+            2, phase, 0.0,
         )
     }
 

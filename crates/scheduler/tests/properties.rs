@@ -4,8 +4,8 @@
 use numopt::DeConfig;
 use proptest::prelude::*;
 use scheduler::{
-    exhaustive_best, find_optimal_pipeline_degree, partition_gradients, t_moe, t_olp_moe,
-    CaseId, GeneralizedLayer, MoePerfModel, Phase, Predicates, MAX_PIPELINE_DEGREE,
+    exhaustive_best, find_optimal_pipeline_degree, partition_gradients, t_moe, t_olp_moe, CaseId,
+    GeneralizedLayer, MoePerfModel, Phase, Predicates, MAX_PIPELINE_DEGREE,
 };
 use simnet::{CostModel, OpCosts};
 

@@ -1,7 +1,5 @@
 //! α–β linear cost models (paper §4.1, Eq. 1).
 
-use serde::{Deserialize, Serialize};
-
 /// A linear time model `t(n) = α + n·β`.
 ///
 /// `α` is the startup (launch/latency) term in milliseconds; `β` is the
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// let a2a = CostModel::new(0.287, 2.21e-7);
 /// assert!((a2a.time(1_000_000.0) - 0.508).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Startup time, ms.
     pub alpha: f64,
@@ -66,7 +64,7 @@ impl CostModel {
 ///
 /// Communication workloads are measured in bytes, GEMM workloads in
 /// FLOPs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpCosts {
     /// General matrix multiply (per FLOP).
     pub gemm: CostModel,

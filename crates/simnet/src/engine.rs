@@ -97,10 +97,13 @@ impl Engine {
             queues[t.resource.0].push_back(i);
         }
         let mut finish: Vec<Option<f64>> = vec![None; n];
-        let mut spans: Vec<Span> = vec![Span {
-            start: 0.0,
-            end: 0.0,
-        }; n];
+        let mut spans: Vec<Span> = vec![
+            Span {
+                start: 0.0,
+                end: 0.0,
+            };
+            n
+        ];
         let mut res_free = vec![0.0f64; n_res];
         let mut busy = vec![0.0f64; n_res];
         let mut done = 0usize;

@@ -32,7 +32,11 @@ pub fn render_gantt(graph: &TaskGraph, timeline: &Timeline, width: usize) -> Str
         let start = ((span.start / makespan) * width as f64).floor() as usize;
         let end = (((span.end / makespan) * width as f64).ceil() as usize).min(width);
         let row = &mut rows[task.resource.index()];
-        for cell in row.iter_mut().take(end.max(start + 1).min(width)).skip(start) {
+        for cell in row
+            .iter_mut()
+            .take(end.max(start + 1).min(width))
+            .skip(start)
+        {
             *cell = c as u8;
         }
     }

@@ -140,7 +140,9 @@ impl TaskGraph {
     ///
     /// Returns [`SimError::UnknownTask`] for out-of-range ids.
     pub fn task(&self, id: TaskId) -> Result<&Task> {
-        self.tasks.get(id.0).ok_or(SimError::UnknownTask { id: id.0 })
+        self.tasks
+            .get(id.0)
+            .ok_or(SimError::UnknownTask { id: id.0 })
     }
 }
 

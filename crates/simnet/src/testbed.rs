@@ -9,12 +9,10 @@
 //! therefore read it as the typo of `2.32e-07` (matching `β_rs =
 //! 2.34e-07`). EXPERIMENTS.md records this.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CostModel, OpCosts};
 
 /// Which of the paper's clusters a preset models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TestbedKind {
     /// Testbed A: 6 nodes × 8 NVIDIA RTX A6000 (NVLink, 200 Gb/s IB).
     A,
@@ -32,7 +30,7 @@ impl std::fmt::Display for TestbedKind {
 }
 
 /// A simulated GPU cluster: its shape and calibrated per-op cost models.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Testbed {
     /// Which paper cluster this models.
     pub kind: TestbedKind,

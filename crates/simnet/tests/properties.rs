@@ -4,7 +4,6 @@
 use proptest::prelude::*;
 use simnet::{Engine, TaskGraph, TaskId};
 
-
 /// Builds a random (but valid) task graph: `n` tasks over `r` resources
 /// with backward-only dependencies decided by the seed.
 fn random_graph(n: usize, resources: usize, seed: u64) -> TaskGraph {
@@ -26,9 +25,7 @@ fn random_graph(n: usize, resources: usize, seed: u64) -> TaskGraph {
         let deps: Vec<TaskId> = if ids.is_empty() {
             vec![]
         } else {
-            (0..next() % 3)
-                .map(|_| ids[next() % ids.len()])
-                .collect()
+            (0..next() % 3).map(|_| ids[next() % ids.len()]).collect()
         };
         ids.push(g.add_task(format!("t{i}"), r, dur, &deps));
     }

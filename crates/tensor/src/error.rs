@@ -50,6 +50,14 @@ pub enum TensorError {
         /// Length of the axis being selected from.
         axis_len: usize,
     },
+    /// The operation found a non-finite value it cannot give meaning to
+    /// (e.g. NaN gating logits reaching `keep_top_k`/`softmax`).
+    NonFiniteInput {
+        /// Name of the operation that refused.
+        op: &'static str,
+        /// Row index of the first offending value.
+        row: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -76,6 +84,12 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidK { k, axis_len } => {
                 write!(f, "top-k with k={k} exceeds axis length {axis_len}")
+            }
+            TensorError::NonFiniteInput { op, row } => {
+                write!(
+                    f,
+                    "{op}: row {row} contains NaN, which has no ordering or probability"
+                )
             }
         }
     }
@@ -107,6 +121,10 @@ mod tests {
             TensorError::AxisOutOfRange { axis: 3, rank: 2 },
             TensorError::IndexOutOfBounds { index: 9, bound: 4 },
             TensorError::InvalidK { k: 5, axis_len: 2 },
+            TensorError::NonFiniteInput {
+                op: "keep_top_k",
+                row: 3,
+            },
         ];
         for e in errs {
             let msg = e.to_string();

@@ -22,8 +22,25 @@ use crate::{Result, Tensor};
 ///
 /// Propagates shape mismatches from the underlying GEMMs.
 pub fn matmul_backward(grad_y: &Tensor, x: &Tensor, w: &Tensor) -> Result<(Tensor, Tensor)> {
-    let grad_x = grad_y.matmul(&w.transpose()?)?;
-    let grad_w = x.transpose()?.matmul(grad_y)?;
+    matmul_backward_with_threads(grad_y, x, w, crate::par::num_threads())
+}
+
+/// [`matmul_backward`] with an explicit worker-count cap for both GEMMs.
+///
+/// Like [`Tensor::matmul_with_threads`], the result is bit-identical
+/// for every `threads` value.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the underlying GEMMs.
+pub fn matmul_backward_with_threads(
+    grad_y: &Tensor,
+    x: &Tensor,
+    w: &Tensor,
+    threads: usize,
+) -> Result<(Tensor, Tensor)> {
+    let grad_x = grad_y.matmul_with_threads(&w.transpose()?, threads)?;
+    let grad_w = x.transpose()?.matmul_with_threads(grad_y, threads)?;
     Ok((grad_x, grad_w))
 }
 
@@ -138,11 +155,7 @@ pub fn layer_norm_backward(grad_y: &Tensor, x: &Tensor, eps: f32) -> Result<Tens
     Tensor::from_vec(out, x.dims())
 }
 
-fn elementwise_backward<F: Fn(f32) -> f32>(
-    grad_y: &Tensor,
-    x: &Tensor,
-    dfdx: F,
-) -> Result<Tensor> {
+fn elementwise_backward<F: Fn(f32) -> f32>(grad_y: &Tensor, x: &Tensor, dfdx: F) -> Result<Tensor> {
     if !grad_y.shape().same_as(x.shape()) {
         return Err(crate::TensorError::ShapeMismatch {
             op: "elementwise_backward",
@@ -193,6 +206,20 @@ mod tests {
         let fd_w = finite_diff(&w, |t| x.matmul(t).unwrap().sum());
         assert!(gx.allclose(&fd_x, 1e-2), "input grad mismatch");
         assert!(gw.allclose(&fd_w, 1e-2), "weight grad mismatch");
+    }
+
+    #[test]
+    fn matmul_backward_thread_count_invariant() {
+        let mut rng = TensorRng::seed_from(1);
+        let x = rng.uniform(&[80, 64], -1.0, 1.0);
+        let w = rng.uniform(&[64, 96], -1.0, 1.0);
+        let grad_y = rng.uniform(&[80, 96], -1.0, 1.0);
+        let (gx1, gw1) = matmul_backward_with_threads(&grad_y, &x, &w, 1).unwrap();
+        for threads in [2, 4, 13] {
+            let (gx, gw) = matmul_backward_with_threads(&grad_y, &x, &w, threads).unwrap();
+            assert_eq!(gx, gx1, "threads={threads}");
+            assert_eq!(gw, gw1, "threads={threads}");
+        }
     }
 
     #[test]
@@ -251,9 +278,7 @@ mod tests {
         let x = rng.uniform(&[3, 5], -2.0, 2.0);
         let c = rng.uniform(&[3, 5], -1.0, 1.0);
         let probs_grad = layer_norm_backward(&c, &x, 1e-5).unwrap();
-        let fd = finite_diff(&x, |t| {
-            t.layer_norm(1e-5).unwrap().mul(&c).unwrap().sum()
-        });
+        let fd = finite_diff(&x, |t| t.layer_norm(1e-5).unwrap().mul(&c).unwrap().sum());
         assert!(
             probs_grad.allclose(&fd, 2e-2),
             "max diff {}",

@@ -31,6 +31,7 @@ mod tensor;
 mod topk;
 
 pub mod grad;
+pub mod par;
 
 pub use error::TensorError;
 pub use init::TensorRng;

@@ -10,9 +10,16 @@ use crate::{Result, Tensor, TensorError};
 impl Tensor {
     /// Numerically stable softmax over the last axis.
     ///
+    /// An all-`-∞` row (every expert masked out) softmaxes to zeros —
+    /// the "token dropped" semantics the gates rely on. NaN rows are
+    /// rejected instead: `f32::max` skips NaN, so an all-NaN row would
+    /// silently alias the dropped-token case, and a mixed row would
+    /// yield NaN probabilities that poison routing downstream.
+    ///
     /// # Errors
     ///
-    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors and
+    /// [`TensorError::NonFiniteInput`] when any entry is NaN.
     pub fn softmax(&self) -> Result<Tensor> {
         if self.rank() == 0 {
             return Err(TensorError::RankMismatch {
@@ -23,7 +30,13 @@ impl Tensor {
         }
         let cols = self.dims()[self.rank() - 1];
         let mut out = self.data().to_vec();
-        for row in out.chunks_mut(cols) {
+        for (r, row) in out.chunks_mut(cols).enumerate() {
+            if row.iter().any(|v| v.is_nan()) {
+                return Err(TensorError::NonFiniteInput {
+                    op: "softmax",
+                    row: r,
+                });
+            }
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             // An all -inf row (every expert masked out) softmaxes to zeros
             // rather than NaNs, matching the "token dropped" semantics.
@@ -177,6 +190,37 @@ mod tests {
 
         let all_masked = Tensor::full(&[3], f32::NEG_INFINITY).softmax().unwrap();
         assert_eq!(all_masked.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rejects_nan_rows() {
+        // mixed NaN row: would otherwise emit NaN probabilities
+        let mixed = Tensor::from_vec(vec![1.0, f32::NAN, 2.0], &[3]).unwrap();
+        assert_eq!(
+            mixed.softmax(),
+            Err(TensorError::NonFiniteInput {
+                op: "softmax",
+                row: 0
+            })
+        );
+        // all-NaN row: would otherwise alias the dropped-token zeros
+        let all_nan = Tensor::full(&[2, 2], f32::NAN);
+        assert!(matches!(
+            all_nan.softmax(),
+            Err(TensorError::NonFiniteInput {
+                op: "softmax",
+                row: 0
+            })
+        ));
+        // NaN in a later row reports that row
+        let later = Tensor::from_vec(vec![1.0, 2.0, f32::NAN, 3.0], &[2, 2]).unwrap();
+        assert_eq!(
+            later.softmax(),
+            Err(TensorError::NonFiniteInput {
+                op: "softmax",
+                row: 1
+            })
+        );
     }
 
     #[test]

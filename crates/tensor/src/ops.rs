@@ -1,4 +1,45 @@
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
+
+/// Rows of the k-dimension processed per tile; a `BLOCK_K × BLOCK_J`
+/// tile of `b` (32 KiB) stays resident in L1 while a band of `a` rows
+/// streams against it.
+const BLOCK_K: usize = 64;
+/// Columns of the output processed per tile.
+const BLOCK_J: usize = 128;
+/// Below this many multiply-adds the scoped-thread fan-out costs more
+/// than it saves, so `matmul` stays on the calling thread.
+const PAR_MIN_MACS: usize = 64 * 64 * 64;
+
+/// Computes `out[band] += a[band,:] × b` for one contiguous row band of
+/// the output, with k/j cache tiling.
+///
+/// Both the serial and the parallel matmul paths run this exact kernel,
+/// and for a fixed output element the `kk` accumulation order is
+/// ascending regardless of tiling or band split — which is what makes
+/// parallel results bit-identical to serial ones.
+fn matmul_band(a: &[f32], b: &[f32], band: &mut [f32], first_row: usize, k: usize, n: usize) {
+    let band_rows = band.len().checked_div(n).unwrap_or(0);
+    for kk0 in (0..k).step_by(BLOCK_K) {
+        let kk1 = (kk0 + BLOCK_K).min(k);
+        for j0 in (0..n).step_by(BLOCK_J) {
+            let j1 = (j0 + BLOCK_J).min(n);
+            for i in 0..band_rows {
+                let arow = &a[(first_row + i) * k..(first_row + i + 1) * k];
+                let orow = &mut band[i * n + j0..i * n + j1];
+                for kk in kk0..kk1 {
+                    let aik = arow[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n + j0..kk * n + j1];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
 
 impl Tensor {
     /// Matrix multiplication of two rank-2 tensors: `(m,k) × (k,n) → (m,n)`.
@@ -7,11 +48,32 @@ impl Tensor {
     /// projection in the MoE layer reduces to; the paper's performance
     /// model (§4.1) prices expert time as a multiple of GEMM time.
     ///
+    /// Large products fan out over [`par::num_threads`] workers (override
+    /// with `TENSOR_THREADS`); small ones stay on the calling thread.
+    /// The result is bit-identical for every worker count — see
+    /// [`Tensor::matmul_with_threads`].
+    ///
     /// # Errors
     ///
     /// Returns an error unless both operands are rank 2 with matching inner
     /// dimension.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.matmul_with_threads(rhs, par::num_threads())
+    }
+
+    /// [`Tensor::matmul`] with an explicit worker-count cap.
+    ///
+    /// The output is bit-identical for every `threads` value (including
+    /// 0 and 1, both meaning serial): the same tiled kernel computes
+    /// every row band, and each output element always accumulates its
+    /// `k` products in ascending order, so no floating-point
+    /// reassociation occurs between the serial and parallel paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank 2 with matching inner
+    /// dimension.
+    pub fn matmul_with_threads(&self, rhs: &Tensor, threads: usize) -> Result<Tensor> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 op: "matmul",
@@ -38,22 +100,14 @@ impl Tensor {
         let a = self.data();
         let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order: the inner loop streams through contiguous rows of
-        // `b` and `out`, which is the cache-friendly order for row-major
-        // buffers.
-        for i in 0..m {
-            for kk in 0..k {
-                let aik = a[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += aik * bv;
-                }
-            }
-        }
+        let threads = if m * n * k < PAR_MIN_MACS {
+            1
+        } else {
+            threads.max(1)
+        };
+        par::for_each_row_band(&mut out, m, n, threads, |first_row, band| {
+            matmul_band(a, b, band, first_row, k, n);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -170,8 +224,9 @@ impl Tensor {
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; n];
         for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data()[i * n + j];
+            let row = &self.data()[i * n..(i + 1) * n];
+            for (acc, v) in out.iter_mut().zip(row) {
+                *acc += v;
             }
         }
         Tensor::from_vec(out, &[n])
@@ -341,6 +396,58 @@ mod tests {
         let right = x.matmul(&w.slice_cols(2, 4).unwrap()).unwrap();
         assert_eq!(full.slice_cols(0, 2).unwrap(), left);
         assert_eq!(full.slice_cols(2, 4).unwrap(), right);
+    }
+
+    #[test]
+    fn parallel_matmul_bit_identical_to_serial() {
+        // big enough to clear PAR_MIN_MACS so the fan-out really runs
+        let mut rng = crate::TensorRng::seed_from(7);
+        let a = rng.normal(&[96, 64], 0.0, 1.0);
+        let b = rng.normal(&[64, 80], 0.0, 1.0);
+        let serial = a.matmul_with_threads(&b, 1).unwrap();
+        for threads in [0, 2, 3, 5, 16, 96, 1000] {
+            let parallel = a.matmul_with_threads(&b, threads).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+        assert_eq!(a.matmul(&b).unwrap(), serial);
+    }
+
+    #[test]
+    fn blocked_kernel_handles_ragged_tile_edges() {
+        // dims straddling the 64/128 block sizes by one either way
+        for (m, k, n) in [(1, 65, 129), (3, 63, 127), (2, 128, 256), (5, 1, 1)] {
+            let a = Tensor::from_vec((0..m * k).map(|v| (v % 7) as f32 - 3.0).collect(), &[m, k])
+                .unwrap();
+            let b = Tensor::from_vec((0..k * n).map(|v| (v % 5) as f32 * 0.25).collect(), &[k, n])
+                .unwrap();
+            let got = a.matmul(&b).unwrap();
+            // reference: naive ijk accumulation
+            let mut expect = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                    }
+                    expect[i * n + j] = acc;
+                }
+            }
+            let expect = Tensor::from_vec(expect, &[m, n]).unwrap();
+            assert!(got.allclose(&expect, 1e-4), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_with_empty_dims() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert_eq!(a.matmul(&b).unwrap().dims(), &[0, 2]);
+        let c = Tensor::zeros(&[2, 0]);
+        let d = Tensor::zeros(&[0, 4]);
+        assert_eq!(c.matmul(&d).unwrap(), Tensor::zeros(&[2, 4]));
+        let e = Tensor::zeros(&[2, 3]);
+        let f = Tensor::zeros(&[3, 0]);
+        assert_eq!(e.matmul(&f).unwrap().dims(), &[2, 0]);
     }
 
     #[test]

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, TensorError};
 
 /// A tensor shape: the extent of each axis, row-major.
@@ -14,7 +12,7 @@ use crate::{Result, TensorError};
 /// assert_eq!(s.num_elements(), 24);
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

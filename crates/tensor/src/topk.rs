@@ -32,6 +32,11 @@ impl TopK {
 /// Ties are broken by preferring the lower index, which makes routing
 /// deterministic across ranks — a property the dispatch tests rely on.
 ///
+/// NaN sorts as smaller than every other value (including `-∞`), so NaN
+/// positions are selected last and only when `k` leaves no alternative.
+/// The previous comparator treated NaN as *equal* to its neighbour,
+/// which made the selection depend on the NaN's position in the row.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::InvalidK`] when `k` is zero or exceeds
@@ -45,10 +50,16 @@ pub fn top_k_indices(row: &[f32], k: usize) -> Result<Vec<usize>> {
     }
     let mut idx: Vec<usize> = (0..row.len()).collect();
     idx.sort_by(|&a, &b| {
-        row[b]
-            .partial_cmp(&row[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        use std::cmp::Ordering;
+        match (row[a].is_nan(), row[b].is_nan()) {
+            (true, true) => a.cmp(&b),
+            (true, false) => Ordering::Greater, // NaN is smallest → last
+            (false, true) => Ordering::Less,
+            (false, false) => row[b]
+                .partial_cmp(&row[a])
+                .expect("both operands are non-NaN")
+                .then(a.cmp(&b)),
+        }
     });
     idx.truncate(k);
     Ok(idx)
@@ -88,8 +99,18 @@ impl Tensor {
     ///
     /// # Errors
     ///
-    /// Returns an error for non-rank-2 tensors or invalid `k`.
+    /// Returns an error for non-rank-2 tensors or invalid `k`, and
+    /// [`TensorError::NonFiniteInput`] when any logit is NaN — a NaN
+    /// would otherwise be kept as a "largest" value and poison the
+    /// downstream softmax probabilities silently.
     pub fn keep_top_k(&self, k: usize) -> Result<Tensor> {
+        let cols = self.dims().last().copied().unwrap_or(0);
+        if let Some(bad) = self.data().iter().position(|v| v.is_nan()) {
+            return Err(TensorError::NonFiniteInput {
+                op: "keep_top_k",
+                row: bad.checked_div(cols).unwrap_or(0),
+            });
+        }
         let topk = self.top_k(k)?;
         let cols = self.dims()[1];
         let mut out = vec![f32::NEG_INFINITY; self.num_elements()];
@@ -150,5 +171,42 @@ mod tests {
     #[test]
     fn keep_top_k_requires_rank_2() {
         assert!(Tensor::zeros(&[3]).keep_top_k(1).is_err());
+    }
+
+    #[test]
+    fn nan_sorts_smallest_and_last_regardless_of_position() {
+        // the old comparator returned Equal for NaN pairs, so the
+        // selection depended on where the NaN sat in the row
+        let front = [f32::NAN, 0.9, 0.1, 0.5];
+        let middle = [0.9, f32::NAN, 0.1, 0.5];
+        let back = [0.9, 0.1, 0.5, f32::NAN];
+        assert_eq!(top_k_indices(&front, 2).unwrap(), vec![1, 3]);
+        assert_eq!(top_k_indices(&middle, 2).unwrap(), vec![0, 3]);
+        assert_eq!(top_k_indices(&back, 2).unwrap(), vec![0, 2]);
+        // NaN loses even to -inf
+        assert_eq!(
+            top_k_indices(&[f32::NAN, f32::NEG_INFINITY], 1).unwrap(),
+            vec![1]
+        );
+        // NaN only selected when k forces it, lower index first
+        assert_eq!(
+            top_k_indices(&[f32::NAN, 1.0, f32::NAN], 3).unwrap(),
+            vec![1, 0, 2]
+        );
+    }
+
+    #[test]
+    fn keep_top_k_rejects_nan_logits() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, f32::NAN, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(
+            t.keep_top_k(1),
+            Err(TensorError::NonFiniteInput {
+                op: "keep_top_k",
+                row: 1
+            })
+        );
+        // infinities are ordered, so they stay legal
+        let inf = Tensor::from_vec(vec![f32::INFINITY, 0.0, f32::NEG_INFINITY], &[1, 3]).unwrap();
+        assert!(inf.keep_top_k(2).is_ok());
     }
 }

@@ -79,6 +79,27 @@ proptest! {
     }
 
     #[test]
+    fn parallel_matmul_bit_identical_to_serial(
+        m in prop::sample::select(vec![1usize, 2, 5, 16, 33, 64, 96]),
+        k in prop::sample::select(vec![1usize, 3, 8, 17, 64, 80]),
+        n in prop::sample::select(vec![1usize, 2, 7, 31, 64, 96]),
+        threads in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        // dims straddle the serial-fallback threshold, so both the
+        // tiled-serial and the banded-parallel paths are exercised; the
+        // claim is exact equality, not allclose
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.uniform(&[m, k], -1.0, 1.0);
+        let b = rng.uniform(&[k, n], -1.0, 1.0);
+        let serial = a.matmul_with_threads(&b, 1).unwrap();
+        let multi = a.matmul_with_threads(&b, threads).unwrap();
+        prop_assert_eq!(&multi, &serial);
+        let default_path = a.matmul(&b).unwrap();
+        prop_assert_eq!(&default_path, &serial);
+    }
+
+    #[test]
     fn chunk_cat_round_trips(rows in 1usize..10, cols in 1usize..5, parts in 1usize..10, seed in any::<u64>()) {
         prop_assume!(parts <= rows);
         let mut rng = TensorRng::seed_from(seed);

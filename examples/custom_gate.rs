@@ -101,10 +101,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let output = layer.forward(&input, &mut rng)?;
     let routing = layer.last_routing().expect("forward ran");
 
-    println!("custom gate `{}` routed {} tokens:", "hash", config.tokens());
+    println!("custom gate `hash` routed {} tokens:", config.tokens());
     println!("  expert loads     : {:?}", routing.expert_loads());
-    println!("  load imbalance   : {:.4} (hash routing balances well)", routing.load_imbalance());
+    println!(
+        "  load imbalance   : {:.4} (hash routing balances well)",
+        routing.load_imbalance()
+    );
     println!("  output shape     : {:?}", output.dims());
-    println!("  output finite    : {}", output.data().iter().all(|v| v.is_finite()));
+    println!(
+        "  output finite    : {}",
+        output.data().iter().all(|v| v.is_finite())
+    );
     Ok(())
 }

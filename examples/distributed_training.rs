@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         )
         .expect("Fig. 2 dims are valid");
-        let mut layer =
-            DistMoeLayer::gshard(&cfg, &comm, &topo, 99).expect("layer construction");
+        let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, 99).expect("layer construction");
 
         // each rank trains on its own token block
         let mut data_rng = TensorRng::seed_from(500 + comm.rank() as u64);

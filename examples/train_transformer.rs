@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for epoch in 0..12 {
         let loss = model.train_step(&x, &target, 0.3, &mut route_rng)?;
         if epoch % 2 == 0 {
-            let routing = model.blocks()[0]
-                .moe()
-                .last_routing()
-                .expect("forward ran");
+            let routing = model.blocks()[0].moe().last_routing().expect("forward ran");
             println!(
                 "epoch {epoch:2}: loss {loss:8.5}  (block-0 expert loads {:?})",
                 routing.expert_loads()

@@ -1,0 +1,147 @@
+//! Pure-std stand-in for the subset of `parking_lot` this workspace uses.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! crate adapts `std::sync::{Mutex, Condvar}` to parking_lot's
+//! poison-free API: `lock()` returns the guard directly and
+//! `Condvar::wait` takes the guard by `&mut`. Lock poisoning is converted
+//! into a panic on the *next* lock acquisition, matching parking_lot's
+//! effective behaviour for this workspace (a panicked rank thread already
+//! aborts the test).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutex whose `lock` returns the guard directly (no poison `Result`).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (std poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().expect("mutex poisoned")),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// Guard for [`Mutex`]. The inner `Option` exists only so
+/// [`Condvar::wait`] can move the std guard out and back.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// A condition variable compatible with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        guard.inner = Some(self.inner.wait(inner).expect("mutex poisoned"));
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_rendezvous() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let n = 4;
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let pair = Arc::clone(&pair);
+                std::thread::spawn(move || {
+                    let (m, cv) = &*pair;
+                    let mut count = m.lock();
+                    *count += 1;
+                    if *count == n {
+                        cv.notify_all();
+                    } else {
+                        while *count < n {
+                            cv.wait(&mut count);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*pair.0.lock(), n);
+    }
+}

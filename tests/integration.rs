@@ -22,6 +22,8 @@ use scheduler::{find_optimal_pipeline_degree, MoePerfModel, Phase};
 use simnet::{OpCosts, Testbed};
 use tensor::{Tensor, TensorRng};
 
+type GateBuilder = fn(&MoeConfig, &mut TensorRng) -> fsmoe::Result<MoeLayer>;
+
 fn small_config() -> MoeConfig {
     MoeConfig::builder()
         .batch_size(1)
@@ -142,9 +144,17 @@ fn end_to_end_schedule_ordering_on_both_testbeds() {
         let fsmoe = t(ScheduleKind::FsMoe);
 
         assert!(tutel <= ds * 1.001, "{}: Tutel vs DS", testbed.kind);
-        assert!(improved <= tutel * 1.001, "{}: Improved vs Tutel", testbed.kind);
+        assert!(
+            improved <= tutel * 1.001,
+            "{}: Improved vs Tutel",
+            testbed.kind
+        );
         assert!(lina <= tutel * 1.001, "{}: Lina vs Tutel", testbed.kind);
-        assert!(noiio <= improved * 1.01, "{}: NoIIO vs Improved", testbed.kind);
+        assert!(
+            noiio <= improved * 1.01,
+            "{}: NoIIO vs Improved",
+            testbed.kind
+        );
         assert!(fsmoe <= noiio * 1.001, "{}: FSMoE vs NoIIO", testbed.kind);
         // and the headline: a real gap over the strongest baseline trio
         assert!(
@@ -249,7 +259,7 @@ fn chunked_execution_equals_unchunked() {
         .no_drop()
         .build()
         .expect("valid");
-    let builders: Vec<(&str, fn(&MoeConfig, &mut TensorRng) -> fsmoe::Result<MoeLayer>)> = vec![
+    let builders: Vec<(&str, GateBuilder)> = vec![
         ("gshard", MoeLayer::gshard),
         ("sigmoid", MoeLayer::sigmoid),
         ("xmoe", MoeLayer::xmoe),
@@ -284,7 +294,7 @@ fn chunked_execution_equals_unchunked() {
 fn all_five_gates_run_through_the_full_layer() {
     let cfg = small_config();
     let mut rng = TensorRng::seed_from(3);
-    let builders: Vec<(&str, fn(&MoeConfig, &mut TensorRng) -> fsmoe::Result<MoeLayer>)> = vec![
+    let builders: Vec<(&str, GateBuilder)> = vec![
         ("gshard", MoeLayer::gshard),
         ("sigmoid", MoeLayer::sigmoid),
         ("xmoe", MoeLayer::xmoe),
