@@ -12,6 +12,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
-cargo test -q
+# Hang watchdog: the fault-injection suites exercise deadline paths in the
+# thread-backed collectives; a regression there shows up as a hang, not a
+# failure. Kill the whole test run if it exceeds the budget.
+timeout --kill-after=30 900 cargo test -q
+
+echo "==> chaos suite (single-threaded tensor backend)"
+TENSOR_THREADS=1 timeout --kill-after=30 300 \
+    cargo test -q -p collectives --test chaos --test faults
+
+echo "==> chaos suite (default threading)"
+timeout --kill-after=30 300 \
+    cargo test -q -p collectives --test chaos --test faults
 
 echo "CI OK"

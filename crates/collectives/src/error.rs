@@ -35,6 +35,28 @@ pub enum CommError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A collective's deadline expired before every member joined.
+    Timeout {
+        /// Name of the collective that timed out.
+        op: &'static str,
+        /// Global ranks that had not joined (or drained) when the
+        /// deadline expired.
+        waiting_on: Vec<usize>,
+    },
+    /// A member of the group is known to be dead, so the collective can
+    /// never complete. When the reporting rank *is* the dead rank, this
+    /// is the error its own call returns.
+    RankDown {
+        /// The dead rank's global rank.
+        rank: usize,
+    },
+    /// The group was poisoned: a member panicked mid-collective (or
+    /// committed an SPMD violation), leaving the rendezvous state
+    /// indeterminate. All subsequent collectives on the group fail.
+    Poisoned {
+        /// Global rank that poisoned the group.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -57,6 +79,15 @@ impl fmt::Display for CommError {
             ),
             CommError::BadParallelism { reason } => {
                 write!(f, "bad parallelism configuration: {reason}")
+            }
+            CommError::Timeout { op, waiting_on } => {
+                write!(f, "{op}: deadline expired waiting on ranks {waiting_on:?}")
+            }
+            CommError::RankDown { rank } => {
+                write!(f, "rank {rank} is down; collective cannot complete")
+            }
+            CommError::Poisoned { rank } => {
+                write!(f, "group poisoned by rank {rank} dying mid-collective")
             }
         }
     }
@@ -83,6 +114,29 @@ mod tests {
         }
         .to_string()
         .contains("all_to_all"));
+        let timeout = CommError::Timeout {
+            op: "all_to_all",
+            waiting_on: vec![1, 3],
+        };
+        assert!(timeout.to_string().contains("all_to_all"));
+        assert!(timeout.to_string().contains("[1, 3]"));
+        assert!(CommError::RankDown { rank: 2 }.to_string().contains("2"));
+        assert!(CommError::Poisoned { rank: 5 }
+            .to_string()
+            .contains("poisoned"));
+    }
+
+    #[test]
+    fn fault_variants_are_clone_and_eq() {
+        let t = CommError::Timeout {
+            op: "barrier",
+            waiting_on: vec![0],
+        };
+        assert_eq!(t.clone(), t);
+        assert_ne!(
+            CommError::RankDown { rank: 1 },
+            CommError::Poisoned { rank: 1 }
+        );
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Deterministic fault injection for the collectives runtime.
+//!
+//! A [`FaultInjector`] carries a schedule of fault events keyed by
+//! `(rank, op index)`, where the op index counts the collectives a rank
+//! has *entered* (0-based, across all groups). Every collective consults
+//! the injector on entry, so any AlltoAll, AllReduce, AllGather,
+//! ReduceScatter, Broadcast or Barrier in the system can be attacked:
+//!
+//! * [`FaultAction::Kill`] — the rank is marked dead; its call (and all
+//!   its later calls) return [`CommError::RankDown`], and peers waiting
+//!   on it error out instead of hanging;
+//! * [`FaultAction::Delay`] — the rank joins the collective late
+//!   (straggler), exercising the deadline machinery;
+//! * [`FaultAction::DropPayload`] — the rank's contribution is replaced
+//!   with zeros, modelling lost/zero-filled traffic (the degradation
+//!   mode `fsmoe::dist` accounts for as token drops).
+//!
+//! Schedules are either built explicitly ([`FaultInjector::kill`] etc.)
+//! or drawn deterministically from a seed
+//! ([`FaultInjector::single_fault_from_seed`]), so chaos tests
+//! reproduce exactly.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+#[allow(unused_imports)] // doc links
+use crate::CommError;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The rank dies at this op: marked dead world-wide, call errors.
+    Kill,
+    /// The rank sleeps this long before joining the collective.
+    Delay(Duration),
+    /// The rank's payload is zero-filled before deposit.
+    DropPayload,
+}
+
+/// A deterministic, seedable schedule of fault events.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    schedule: HashMap<(usize, usize), FaultAction>,
+    /// Per-rank count of collectives entered so far.
+    counters: Mutex<HashMap<usize, usize>>,
+}
+
+impl FaultInjector {
+    /// An empty schedule (no faults).
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Schedules `rank` to die when it enters its `at_op`-th collective.
+    #[must_use]
+    pub fn kill(mut self, rank: usize, at_op: usize) -> Self {
+        self.schedule.insert((rank, at_op), FaultAction::Kill);
+        self
+    }
+
+    /// Schedules `rank` to straggle by `delay` on its `at_op`-th
+    /// collective.
+    #[must_use]
+    pub fn delay(mut self, rank: usize, at_op: usize, delay: Duration) -> Self {
+        self.schedule
+            .insert((rank, at_op), FaultAction::Delay(delay));
+        self
+    }
+
+    /// Schedules `rank`'s payload to be zero-filled on its `at_op`-th
+    /// collective.
+    #[must_use]
+    pub fn drop_payload(mut self, rank: usize, at_op: usize) -> Self {
+        self.schedule
+            .insert((rank, at_op), FaultAction::DropPayload);
+        self
+    }
+
+    /// A deterministic random *single-fault* schedule: one rank, one op
+    /// index in `0..max_op`, one action kind. Delays are drawn in
+    /// `1..=max_delay_ms` milliseconds. The same seed always yields the
+    /// same schedule — the contract chaos tests rely on to reproduce.
+    pub fn single_fault_from_seed(
+        seed: u64,
+        world_size: usize,
+        max_op: usize,
+        max_delay_ms: u64,
+    ) -> Self {
+        let mut state = seed;
+        let mut next = move || splitmix64(&mut state);
+        let rank = (next() % world_size.max(1) as u64) as usize;
+        let at_op = (next() % max_op.max(1) as u64) as usize;
+        let action = match next() % 3 {
+            0 => FaultAction::Kill,
+            1 => FaultAction::Delay(Duration::from_millis(1 + next() % max_delay_ms.max(1))),
+            _ => FaultAction::DropPayload,
+        };
+        let mut inj = FaultInjector::new();
+        inj.schedule.insert((rank, at_op), action);
+        inj
+    }
+
+    /// The scheduled events, in no particular order.
+    pub fn events(&self) -> Vec<(usize, usize, FaultAction)> {
+        self.schedule
+            .iter()
+            .map(|(&(rank, op), &action)| (rank, op, action))
+            .collect()
+    }
+
+    /// Number of collectives `rank` has entered so far.
+    pub fn ops_seen(&self, rank: usize) -> usize {
+        self.counters.lock().get(&rank).copied().unwrap_or(0)
+    }
+
+    /// Called by the runtime when `rank` enters a collective: advances
+    /// the rank's op counter and returns the fault (if any) scheduled
+    /// for that op.
+    pub(crate) fn on_collective(&self, rank: usize) -> Option<FaultAction> {
+        let mut counters = self.counters.lock();
+        let op = counters.entry(rank).or_insert(0);
+        let current = *op;
+        *op += 1;
+        drop(counters);
+        self.schedule.get(&(rank, current)).copied()
+    }
+}
+
+/// SplitMix64 — the same generator family the shims use, kept local so
+/// the library crate needs no rand dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_schedule_fires_at_op_index() {
+        let inj = FaultInjector::new()
+            .kill(1, 2)
+            .delay(0, 0, Duration::from_millis(5));
+        assert_eq!(
+            inj.on_collective(0),
+            Some(FaultAction::Delay(Duration::from_millis(5)))
+        );
+        assert_eq!(inj.on_collective(0), None);
+        assert_eq!(inj.on_collective(1), None); // op 0
+        assert_eq!(inj.on_collective(1), None); // op 1
+        assert_eq!(inj.on_collective(1), Some(FaultAction::Kill)); // op 2
+        assert_eq!(inj.ops_seen(1), 3);
+        assert_eq!(inj.ops_seen(7), 0);
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic() {
+        let a = FaultInjector::single_fault_from_seed(42, 8, 4, 100);
+        let b = FaultInjector::single_fault_from_seed(42, 8, 4, 100);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 1);
+        let (rank, op, _) = a.events()[0];
+        assert!(rank < 8);
+        assert!(op < 4);
+    }
+
+    #[test]
+    fn seeds_cover_all_action_kinds() {
+        let mut kinds = [false; 3];
+        for seed in 0..64 {
+            let inj = FaultInjector::single_fault_from_seed(seed, 4, 3, 50);
+            match inj.events()[0].2 {
+                FaultAction::Kill => kinds[0] = true,
+                FaultAction::Delay(d) => {
+                    assert!(d >= Duration::from_millis(1));
+                    assert!(d <= Duration::from_millis(50));
+                    kinds[1] = true;
+                }
+                FaultAction::DropPayload => kinds[2] = true,
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "kinds seen: {kinds:?}");
+    }
+}

@@ -1,10 +1,24 @@
 //! Group communicators and the collective state machine.
+//!
+//! The rendezvous here is *fault-aware*: every wait is bounded by the
+//! group's deadline (when armed), dead ranks (killed by fault injection
+//! or declared dead) fail the collective with [`CommError::RankDown`]
+//! instead of hanging every peer, and a rank that panics mid-collective
+//! poisons the group so peers get [`CommError::Poisoned`] immediately.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
+use crate::fault::FaultAction;
+use crate::world::WorldCtrl;
 use crate::{CommError, Result};
+
+/// How often waiting ranks re-check world fault state (dead ranks,
+/// poisoning) even without a notification. Bounds the detection latency
+/// for ranks blocked on *other* groups than the one a fault hit.
+const FAULT_POLL: Duration = Duration::from_millis(25);
 
 /// Which collective the group is currently executing, used to detect SPMD
 /// violations (two ranks calling different collectives on one group).
@@ -18,12 +32,25 @@ enum OpTag {
     Barrier,
 }
 
+impl OpTag {
+    fn name(self) -> &'static str {
+        match self {
+            OpTag::AllReduce => "all_reduce",
+            OpTag::AllGather => "all_gather",
+            OpTag::ReduceScatter => "reduce_scatter",
+            OpTag::AllToAll => "all_to_all",
+            OpTag::Broadcast => "broadcast",
+            OpTag::Barrier => "barrier",
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Phase {
     /// Ranks are depositing inputs; `usize` counts arrivals.
     Collecting(usize),
-    /// Outputs are ready; `usize` counts ranks that have taken theirs.
-    Distributing(usize),
+    /// Outputs are ready; members drain them (slot goes to `None`).
+    Distributing,
 }
 
 #[derive(Debug)]
@@ -32,6 +59,9 @@ struct OpState {
     tag: Option<OpTag>,
     inputs: Vec<Option<Vec<f32>>>,
     outputs: Vec<Option<Vec<f32>>>,
+    /// Set when a member panicked mid-collective (or violated SPMD);
+    /// permanent — the rendezvous state is indeterminate afterwards.
+    poisoned: Option<usize>,
 }
 
 /// Shared state for one communication group.
@@ -40,10 +70,11 @@ pub(crate) struct GroupInner {
     ranks: Vec<usize>,
     state: Mutex<OpState>,
     cond: Condvar,
+    ctrl: Arc<WorldCtrl>,
 }
 
 impl GroupInner {
-    pub(crate) fn new(ranks: Vec<usize>) -> Self {
+    pub(crate) fn new(ranks: Vec<usize>, ctrl: &Arc<WorldCtrl>) -> Self {
         let n = ranks.len();
         GroupInner {
             ranks,
@@ -52,8 +83,31 @@ impl GroupInner {
                 tag: None,
                 inputs: vec![None; n],
                 outputs: vec![None; n],
+                poisoned: None,
             }),
             cond: Condvar::new(),
+            ctrl: Arc::clone(ctrl),
+        }
+    }
+}
+
+/// Poisons the group when the holder's thread unwinds mid-collective, so
+/// peers error out instead of waiting forever. Declared before the state
+/// guard, so during a panic the mutex is released first.
+struct PoisonOnPanic<'a> {
+    inner: &'a GroupInner,
+    rank: usize,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let mut st = self.inner.state.lock();
+            if st.poisoned.is_none() {
+                st.poisoned = Some(self.rank);
+            }
+            drop(st);
+            self.inner.cond.notify_all();
         }
     }
 }
@@ -61,8 +115,12 @@ impl GroupInner {
 /// A communicator bound to one rank's membership in one group.
 ///
 /// All collectives block until every member of the group has joined the
-/// call, exactly like their NCCL counterparts. The semantics follow the
-/// MPI/NCCL definitions; see each method.
+/// call, exactly like their NCCL counterparts — except that an armed
+/// deadline ([`GroupComm::set_deadline`], inherited from
+/// [`crate::CommWorld::with_deadline`]) converts an absent peer into
+/// [`CommError::Timeout`], and a peer known dead into
+/// [`CommError::RankDown`]. The semantics follow the MPI/NCCL
+/// definitions; see each method.
 #[derive(Debug, Clone)]
 pub struct GroupComm {
     inner: Arc<GroupInner>,
@@ -70,10 +128,16 @@ pub struct GroupComm {
     index: usize,
     /// This rank's global rank (for diagnostics).
     global_rank: usize,
+    /// Per-collective deadline; `None` waits forever.
+    deadline: Option<Duration>,
 }
 
 impl GroupComm {
-    pub(crate) fn new(inner: Arc<GroupInner>, global_rank: usize) -> Result<Self> {
+    pub(crate) fn new(
+        inner: Arc<GroupInner>,
+        global_rank: usize,
+        deadline: Option<Duration>,
+    ) -> Result<Self> {
         let index = inner
             .ranks
             .iter()
@@ -83,6 +147,7 @@ impl GroupComm {
             inner,
             index,
             global_rank,
+            deadline,
         })
     }
 
@@ -96,37 +161,182 @@ impl GroupComm {
         self.index
     }
 
+    /// This rank's global rank.
+    pub fn global_rank(&self) -> usize {
+        self.global_rank
+    }
+
     /// The global ranks composing the group, in group-index order.
     pub fn ranks(&self) -> &[usize] {
         &self.inner.ranks
     }
 
+    /// The collective deadline currently armed on this handle.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Arms (or disarms, with `None`) the per-collective deadline.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// Blocks on the condvar for one bounded step (never longer than the
+    /// remaining deadline or the fault-poll interval).
+    fn wait_step(&self, st: &mut MutexGuard<'_, OpState>, deadline: Option<Instant>) {
+        let dur = match deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()).min(FAULT_POLL),
+            None => FAULT_POLL,
+        };
+        if dur.is_zero() {
+            return; // caller re-checks and reports the timeout
+        }
+        let _ = self.inner.cond.wait_for(st, dur);
+    }
+
+    /// First group member that is dead world-wide and has not deposited
+    /// an input this round — the op can never complete.
+    fn blocking_dead_member(&self, st: &OpState) -> Option<usize> {
+        self.inner
+            .ranks
+            .iter()
+            .enumerate()
+            .find(|&(i, &r)| st.inputs[i].is_none() && self.inner.ctrl.is_dead(r))
+            .map(|(_, &r)| r)
+    }
+
+    /// Removes this rank's deposit so an abandoned op leaves the group
+    /// reusable (retries re-enter a clean Collecting state).
+    fn withdraw(&self, st: &mut OpState) {
+        if let Phase::Collecting(c) = &mut st.phase {
+            if st.inputs[self.index].take().is_some() {
+                *c -= 1;
+            }
+            if *c == 0 {
+                st.tag = None;
+            }
+        }
+    }
+
+    /// Drops outputs owed to dead ranks and, if the drain is complete,
+    /// resets the group for the next collective.
+    fn settle_drain(&self, st: &mut OpState) {
+        if !matches!(st.phase, Phase::Distributing) {
+            return;
+        }
+        for (i, &r) in self.inner.ranks.iter().enumerate() {
+            if self.inner.ctrl.is_dead(r) {
+                st.outputs[i] = None;
+            }
+        }
+        if st.outputs.iter().all(Option::is_none) {
+            st.phase = Phase::Collecting(0);
+            st.tag = None;
+            self.inner.cond.notify_all();
+        }
+    }
+
+    /// Global ranks the caller is still waiting on.
+    fn waiting_on(&self, st: &OpState) -> Vec<usize> {
+        match st.phase {
+            Phase::Collecting(_) => self
+                .inner
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| st.inputs[i].is_none() && i != self.index)
+                .map(|(_, &r)| r)
+                .collect(),
+            Phase::Distributing => self
+                .inner
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| st.outputs[i].is_some())
+                .map(|(_, &r)| r)
+                .collect(),
+        }
+    }
+
     /// The core rendezvous: deposit `input`, wait for all members, let the
     /// last arrival compute all outputs with `compute`, then take ours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankDown`] when this rank or a peer is dead,
+    /// [`CommError::Timeout`] when the armed deadline expires, and
+    /// [`CommError::Poisoned`] when a member panicked mid-collective.
     ///
     /// # Panics
     ///
     /// Panics when members concurrently issue different collectives on the
-    /// same group (an SPMD violation that would otherwise deadlock).
-    fn run<F>(&self, tag: OpTag, input: Vec<f32>, compute: F) -> Vec<f32>
+    /// same group (an SPMD violation); the group is poisoned first so
+    /// peers error out rather than deadlock.
+    fn run<F>(&self, tag: OpTag, mut input: Vec<f32>, compute: F) -> Result<Vec<f32>>
     where
         F: FnOnce(&[Vec<f32>]) -> Vec<Vec<f32>>,
     {
+        let ctrl = &self.inner.ctrl;
+        if ctrl.is_dead(self.global_rank) {
+            return Err(CommError::RankDown {
+                rank: self.global_rank,
+            });
+        }
+        if let Some(injector) = ctrl.injector() {
+            match injector.on_collective(self.global_rank) {
+                Some(FaultAction::Kill) => {
+                    ctrl.mark_dead(self.global_rank);
+                    self.inner.cond.notify_all();
+                    return Err(CommError::RankDown {
+                        rank: self.global_rank,
+                    });
+                }
+                Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                Some(FaultAction::DropPayload) => input.iter_mut().for_each(|v| *v = 0.0),
+                None => {}
+            }
+        }
+
+        let op = tag.name();
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
         let n = self.size();
+        let _poison_guard = PoisonOnPanic {
+            inner: &self.inner,
+            rank: self.global_rank,
+        };
         let mut st = self.inner.state.lock();
 
-        // Wait out the drain of a previous collective.
-        while matches!(st.phase, Phase::Distributing(_)) {
-            self.inner.cond.wait(&mut st);
+        // Wait out the drain of a previous collective. Dead ranks never
+        // take their outputs, so scrub them as we go.
+        loop {
+            if let Some(rank) = st.poisoned {
+                return Err(CommError::Poisoned { rank });
+            }
+            self.settle_drain(&mut st);
+            if matches!(st.phase, Phase::Collecting(_)) {
+                break;
+            }
+            if expired(deadline) {
+                let waiting_on = self.waiting_on(&st);
+                return Err(CommError::Timeout { op, waiting_on });
+            }
+            self.wait_step(&mut st, deadline);
         }
 
         match st.tag {
             None => st.tag = Some(tag),
-            Some(t) => assert_eq!(
-                t, tag,
-                "SPMD violation on group {:?}: rank {} called {:?} while {:?} in flight",
-                self.inner.ranks, self.global_rank, tag, t
-            ),
+            Some(t) if t == tag => {}
+            Some(t) => {
+                st.poisoned = Some(self.global_rank);
+                let ranks = self.inner.ranks.clone();
+                drop(st);
+                self.inner.cond.notify_all();
+                panic!(
+                    "SPMD violation on group {:?}: rank {} called {:?} while {:?} in flight",
+                    ranks, self.global_rank, tag, t
+                );
+            }
         }
 
         st.inputs[self.index] = Some(input);
@@ -135,7 +345,7 @@ impl GroupComm {
                 *c += 1;
                 *c
             }
-            Phase::Distributing(_) => unreachable!("waited out distribution above"),
+            Phase::Distributing => unreachable!("waited out distribution above"),
         };
 
         if arrived == n {
@@ -149,26 +359,37 @@ impl GroupComm {
             for (slot, out) in st.outputs.iter_mut().zip(outputs) {
                 *slot = Some(out);
             }
-            st.phase = Phase::Distributing(0);
+            st.phase = Phase::Distributing;
             self.inner.cond.notify_all();
         } else {
-            while matches!(st.phase, Phase::Collecting(_)) {
-                self.inner.cond.wait(&mut st);
+            loop {
+                if let Some(rank) = st.poisoned {
+                    self.withdraw(&mut st);
+                    return Err(CommError::Poisoned { rank });
+                }
+                if !matches!(st.phase, Phase::Collecting(_)) {
+                    break;
+                }
+                if let Some(rank) = self.blocking_dead_member(&st) {
+                    self.withdraw(&mut st);
+                    self.inner.cond.notify_all();
+                    return Err(CommError::RankDown { rank });
+                }
+                if expired(deadline) {
+                    let waiting_on = self.waiting_on(&st);
+                    self.withdraw(&mut st);
+                    self.inner.cond.notify_all();
+                    return Err(CommError::Timeout { op, waiting_on });
+                }
+                self.wait_step(&mut st, deadline);
             }
         }
 
         let out = st.outputs[self.index]
             .take()
             .expect("output present in distribution phase");
-        if let Phase::Distributing(taken) = &mut st.phase {
-            *taken += 1;
-            if *taken == n {
-                st.phase = Phase::Collecting(0);
-                st.tag = None;
-                self.inner.cond.notify_all();
-            }
-        }
-        out
+        self.settle_drain(&mut st);
+        Ok(out)
     }
 
     /// Element-wise sum across the group; every rank ends with the total.
@@ -176,10 +397,16 @@ impl GroupComm {
     /// Used for MP output combination and — crucially for the paper's §5 —
     /// the Gradient-AllReduce of data-parallel training.
     ///
+    /// # Errors
+    ///
+    /// Returns deadline/fault errors; see [`GroupComm::run`] internals
+    /// ([`CommError::Timeout`], [`CommError::RankDown`],
+    /// [`CommError::Poisoned`]).
+    ///
     /// # Panics
     ///
     /// Panics if members pass buffers of different lengths.
-    pub fn all_reduce(&self, data: &mut [f32]) {
+    pub fn all_reduce(&self, data: &mut [f32]) -> Result<()> {
         let out = self.run(OpTag::AllReduce, data.to_vec(), |inputs| {
             let len = inputs[0].len();
             for inp in inputs {
@@ -192,8 +419,9 @@ impl GroupComm {
                 }
             }
             vec![sum; inputs.len()]
-        });
+        })?;
         data.copy_from_slice(&out);
+        Ok(())
     }
 
     /// Concatenates every rank's buffer in group-index order; every rank
@@ -201,7 +429,12 @@ impl GroupComm {
     ///
     /// This is the paper's ESP-AllGather (§2.2): it replicates dispatched
     /// tokens to all expert shards in the ESP group.
-    pub fn all_gather(&self, data: &[f32]) -> Vec<f32> {
+    ///
+    /// # Errors
+    ///
+    /// Returns deadline/fault errors ([`CommError::Timeout`],
+    /// [`CommError::RankDown`], [`CommError::Poisoned`]).
+    pub fn all_gather(&self, data: &[f32]) -> Result<Vec<f32>> {
         self.run(OpTag::AllGather, data.to_vec(), |inputs| {
             let cat: Vec<f32> = inputs.iter().flatten().copied().collect();
             vec![cat; inputs.len()]
@@ -217,7 +450,7 @@ impl GroupComm {
     /// # Errors
     ///
     /// Returns [`CommError::BadBufferLength`] when the buffer does not
-    /// divide evenly by the group size.
+    /// divide evenly by the group size, plus deadline/fault errors.
     pub fn reduce_scatter(&self, data: &[f32]) -> Result<Vec<f32>> {
         let n = self.size();
         if !data.len().is_multiple_of(n) {
@@ -227,7 +460,7 @@ impl GroupComm {
                 group_size: n,
             });
         }
-        Ok(self.run(OpTag::ReduceScatter, data.to_vec(), |inputs| {
+        self.run(OpTag::ReduceScatter, data.to_vec(), |inputs| {
             let len = inputs[0].len();
             let chunk = len / inputs.len();
             let mut sum = vec![0.0f32; len];
@@ -240,7 +473,7 @@ impl GroupComm {
             (0..inputs.len())
                 .map(|i| sum[i * chunk..(i + 1) * chunk].to_vec())
                 .collect()
-        }))
+        })
     }
 
     /// Splits each rank's buffer into `size` equal chunks and transposes:
@@ -253,7 +486,7 @@ impl GroupComm {
     /// # Errors
     ///
     /// Returns [`CommError::BadBufferLength`] when the buffer does not
-    /// divide evenly by the group size.
+    /// divide evenly by the group size, plus deadline/fault errors.
     pub fn all_to_all(&self, data: &[f32]) -> Result<Vec<f32>> {
         let n = self.size();
         if !data.len().is_multiple_of(n) {
@@ -263,7 +496,7 @@ impl GroupComm {
                 group_size: n,
             });
         }
-        Ok(self.run(OpTag::AllToAll, data.to_vec(), |inputs| {
+        self.run(OpTag::AllToAll, data.to_vec(), |inputs| {
             let len = inputs[0].len();
             let chunk = len / inputs.len();
             (0..inputs.len())
@@ -276,7 +509,7 @@ impl GroupComm {
                     out
                 })
                 .collect()
-        }))
+        })
     }
 
     /// Copies `root`'s buffer (by group index) to every rank.
@@ -284,7 +517,7 @@ impl GroupComm {
     /// # Errors
     ///
     /// Returns [`CommError::RankOutOfRange`] when `root` is not a valid
-    /// group index.
+    /// group index, plus deadline/fault errors.
     pub fn broadcast(&self, root: usize, data: &mut [f32]) -> Result<()> {
         let n = self.size();
         if root >= n {
@@ -295,15 +528,21 @@ impl GroupComm {
         }
         let out = self.run(OpTag::Broadcast, data.to_vec(), move |inputs| {
             vec![inputs[root].clone(); inputs.len()]
-        });
+        })?;
         data.copy_from_slice(&out);
         Ok(())
     }
 
     /// Blocks until every member of the group has reached the barrier.
-    pub fn barrier(&self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns deadline/fault errors ([`CommError::Timeout`],
+    /// [`CommError::RankDown`], [`CommError::Poisoned`]).
+    pub fn barrier(&self) -> Result<()> {
         let _ = self.run(OpTag::Barrier, Vec::new(), |inputs| {
             vec![Vec::new(); inputs.len()]
-        });
+        })?;
+        Ok(())
     }
 }

@@ -15,8 +15,22 @@
 //! uses, which [`HybridTopology`] constructs (§2.2, Fig. 2).
 //!
 //! Collectives are SPMD: every member of a group must call the same
-//! operation in the same order. Mismatched calls are detected and panic
-//! with a diagnostic rather than deadlocking.
+//! operation in the same order. Mismatched calls are detected, poison the
+//! group, and panic with a diagnostic rather than deadlocking.
+//!
+//! # Fault model
+//!
+//! Production clusters lose ranks. The runtime therefore supports:
+//!
+//! * **deadlines** ([`CommWorld::with_deadline`]) — an absent peer turns
+//!   into [`CommError::Timeout`] instead of a hang;
+//! * **dead-rank tracking** ([`Communicator::declare_dead`]) — peers of a
+//!   dead rank fail fast with [`CommError::RankDown`];
+//! * **panic poisoning** — a rank that panics mid-collective poisons the
+//!   group, and peers get [`CommError::Poisoned`];
+//! * **fault injection** ([`FaultInjector`], [`CommWorld::with_faults`])
+//!   — deterministic, seedable schedules of rank kills, straggler delays
+//!   and payload drops, so every collective can be attacked in tests.
 //!
 //! # Example
 //!
@@ -32,7 +46,7 @@
 //!         thread::spawn(move || {
 //!             let group = comm.world_group();
 //!             let mut x = vec![comm.rank() as f32];
-//!             group.all_reduce(&mut x);
+//!             group.all_reduce(&mut x).unwrap();
 //!             assert_eq!(x[0], 6.0); // 0+1+2+3
 //!         })
 //!     })
@@ -43,11 +57,13 @@
 //! ```
 
 mod error;
+mod fault;
 mod group;
 mod topology;
 mod world;
 
 pub use error::CommError;
+pub use fault::{FaultAction, FaultInjector};
 pub use group::GroupComm;
 pub use topology::{HybridTopology, ParallelDims};
 pub use world::{CommWorld, Communicator};
@@ -68,7 +84,20 @@ where
     T: Send + 'static,
     F: Fn(Communicator) -> T + Send + Sync + 'static,
 {
-    let world = CommWorld::new(size);
+    run_world(CommWorld::new(size), f)
+}
+
+/// Like [`run_ranks`], but over a pre-configured [`CommWorld`] (deadline,
+/// fault schedule, …).
+///
+/// # Panics
+///
+/// Propagates panics from rank threads.
+pub fn run_world<T, F>(world: CommWorld, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Communicator) -> T + Send + Sync + 'static,
+{
     let f = std::sync::Arc::new(f);
     let handles: Vec<_> = world
         .into_communicators()
@@ -82,4 +111,70 @@ where
         .into_iter()
         .map(|h| h.join().expect("rank thread panicked"))
         .collect()
+}
+
+/// Like [`run_world`], but panics if any rank fails to finish within
+/// `budget` — the watchdog chaos tests use to prove no collective hangs.
+///
+/// Results come back in rank order. Rank threads that panic re-panic
+/// here; rank threads that *hang* trip the watchdog without being joined
+/// (they are left detached so the test suite can fail cleanly).
+///
+/// # Panics
+///
+/// Panics when a rank thread panics or does not finish within `budget`.
+pub fn run_world_within<T, F>(world: CommWorld, budget: std::time::Duration, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Communicator) -> T + Send + Sync + 'static,
+{
+    let size = world.size();
+    let f = std::sync::Arc::new(f);
+    let (tx, rx) = std::sync::mpsc::channel();
+    for comm in world.into_communicators() {
+        let f = std::sync::Arc::clone(&f);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let rank = comm.rank();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+            let _ = tx.send((rank, result));
+        });
+    }
+    drop(tx);
+    let deadline = std::time::Instant::now() + budget;
+    let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    for _ in 0..size {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        match rx.recv_timeout(remaining) {
+            Ok((rank, Ok(value))) => slots[rank] = Some(value),
+            Ok((rank, Err(payload))) => {
+                panic!("rank {rank} panicked: {}", panic_message(&payload))
+            }
+            Err(_) => {
+                let missing: Vec<usize> = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_none())
+                    .map(|(i, _)| i)
+                    .collect();
+                panic!(
+                    "watchdog: ranks {missing:?} still running after {budget:?} — collective hang"
+                );
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("all ranks reported"))
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }

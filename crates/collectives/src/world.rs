@@ -1,18 +1,56 @@
-//! World construction and sub-group registry.
+//! World construction, sub-group registry, and world-wide fault state.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::fault::FaultInjector;
 use crate::group::GroupInner;
 use crate::{CommError, GroupComm, Result};
 
+/// World-wide control plane shared by every group: which ranks are dead
+/// and which faults are scheduled. Lock-free reads so the rendezvous hot
+/// path can consult it while holding a group lock.
+#[derive(Debug)]
+pub(crate) struct WorldCtrl {
+    dead: Vec<AtomicBool>,
+    injector: Option<FaultInjector>,
+}
+
+impl WorldCtrl {
+    fn new(size: usize, injector: Option<FaultInjector>) -> Self {
+        WorldCtrl {
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            injector,
+        }
+    }
+
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        self.dead
+            .get(rank)
+            .is_some_and(|d| d.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        if let Some(d) = self.dead.get(rank) {
+            d.store(true, Ordering::Release);
+        }
+    }
+
+    pub(crate) fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+}
+
 /// Shared registry mapping a rank set to its group state, so every rank
 /// that requests the same sub-group binds to the same rendezvous object.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct GroupRegistry {
     groups: Mutex<HashMap<Vec<usize>, Arc<GroupInner>>>,
+    ctrl: Arc<WorldCtrl>,
 }
 
 impl GroupRegistry {
@@ -20,7 +58,7 @@ impl GroupRegistry {
         let mut map = self.groups.lock();
         Arc::clone(
             map.entry(ranks.to_vec())
-                .or_insert_with(|| Arc::new(GroupInner::new(ranks.to_vec()))),
+                .or_insert_with(|| Arc::new(GroupInner::new(ranks.to_vec(), &self.ctrl))),
         )
     }
 }
@@ -28,15 +66,19 @@ impl GroupRegistry {
 /// A world of `P` communicating ranks.
 ///
 /// Construct one per simulated cluster, then hand each rank thread its
-/// [`Communicator`] via [`CommWorld::into_communicators`].
+/// [`Communicator`] via [`CommWorld::into_communicators`]. Worlds are
+/// configured before the split: [`CommWorld::with_deadline`] arms a
+/// collective deadline on every group, [`CommWorld::with_faults`]
+/// installs a [`FaultInjector`].
 #[derive(Debug)]
 pub struct CommWorld {
     size: usize,
-    registry: Arc<GroupRegistry>,
+    deadline: Option<Duration>,
+    injector: Option<FaultInjector>,
 }
 
 impl CommWorld {
-    /// Creates a world with `size` ranks.
+    /// Creates a world with `size` ranks, no deadline, no faults.
     ///
     /// # Panics
     ///
@@ -45,8 +87,25 @@ impl CommWorld {
         assert!(size > 0, "world size must be positive");
         CommWorld {
             size,
-            registry: Arc::new(GroupRegistry::default()),
+            deadline: None,
+            injector: None,
         }
+    }
+
+    /// Arms a deadline on every collective: a rank whose peers have not
+    /// all joined (or drained) within `deadline` gets
+    /// [`CommError::Timeout`] instead of blocking forever.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a fault injector consulted by every collective.
+    #[must_use]
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// Number of ranks in the world.
@@ -57,11 +116,17 @@ impl CommWorld {
     /// Consumes the world, producing one [`Communicator`] per rank, in
     /// rank order.
     pub fn into_communicators(self) -> Vec<Communicator> {
+        let ctrl = Arc::new(WorldCtrl::new(self.size, self.injector));
+        let registry = Arc::new(GroupRegistry {
+            groups: Mutex::new(HashMap::new()),
+            ctrl,
+        });
         (0..self.size)
             .map(|rank| Communicator {
                 rank,
                 world_size: self.size,
-                registry: Arc::clone(&self.registry),
+                deadline: self.deadline,
+                registry: Arc::clone(&registry),
             })
             .collect()
     }
@@ -74,6 +139,7 @@ impl CommWorld {
 pub struct Communicator {
     rank: usize,
     world_size: usize,
+    deadline: Option<Duration>,
     registry: Arc<GroupRegistry>,
 }
 
@@ -86,6 +152,31 @@ impl Communicator {
     /// Total number of ranks in the world.
     pub fn world_size(&self) -> usize {
         self.world_size
+    }
+
+    /// The collective deadline groups created by this communicator
+    /// inherit (`None` = wait forever).
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Overrides the inherited collective deadline for groups created
+    /// *after* this call.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// Whether `rank` is known to be dead (killed by fault injection or
+    /// declared via [`Communicator::declare_dead`]).
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.registry.ctrl.is_dead(rank)
+    }
+
+    /// Declares `rank` dead world-wide. Every in-flight and future
+    /// collective on a group containing `rank` fails with
+    /// [`CommError::RankDown`] instead of waiting for it.
+    pub fn declare_dead(&self, rank: usize) {
+        self.registry.ctrl.mark_dead(rank);
     }
 
     /// The group containing every rank in the world.
@@ -125,7 +216,7 @@ impl Communicator {
             }
             seen[r] = true;
         }
-        GroupComm::new(self.registry.lookup(ranks), self.rank)
+        GroupComm::new(self.registry.lookup(ranks), self.rank, self.deadline)
     }
 }
 
@@ -173,7 +264,20 @@ mod tests {
         // Verified indirectly: they must rendezvous. Run a barrier across
         // two threads.
         let t = std::thread::spawn(move || b.barrier());
-        a.barrier();
-        t.join().unwrap();
+        a.barrier().unwrap();
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn deadline_and_dead_flags_propagate() {
+        let mut comms = CommWorld::new(2)
+            .with_deadline(Duration::from_millis(250))
+            .into_communicators();
+        assert_eq!(comms[0].deadline(), Some(Duration::from_millis(250)));
+        comms[0].set_deadline(None);
+        assert_eq!(comms[0].deadline(), None);
+        assert!(!comms[1].is_dead(0));
+        comms[1].declare_dead(0);
+        assert!(comms[0].is_dead(0), "death is world-wide state");
     }
 }

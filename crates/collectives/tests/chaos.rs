@@ -1,0 +1,92 @@
+//! Chaos property test: random single-fault schedules over small worlds.
+//!
+//! The liveness property under test: with a deadline armed, **every**
+//! rank's every collective call returns (`Ok` or a typed `Err`) — no
+//! schedule of kills, stragglers, or payload drops may hang any rank.
+//! Injected delays are capped at 200 ms and the per-op deadline at
+//! 500 ms, so no case ever sleeps anywhere near the 2 s ceiling the
+//! repo's test policy allows.
+
+use std::time::Duration;
+
+use collectives::{run_world_within, CommError, CommWorld, FaultInjector};
+use proptest::prelude::*;
+
+const OPS: usize = 4;
+const DEADLINE: Duration = Duration::from_millis(500);
+const MAX_DELAY_MS: u64 = 200;
+/// Watchdog: OPS deadlines + max delay + generous scheduling slack.
+const BUDGET: Duration = Duration::from_secs(10);
+
+fn fault_is_typed(err: &CommError) -> bool {
+    matches!(
+        err,
+        CommError::Timeout { .. } | CommError::RankDown { .. } | CommError::Poisoned { .. }
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_single_fault_terminates_every_rank(
+        world in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let injector =
+            FaultInjector::single_fault_from_seed(seed, world, OPS, MAX_DELAY_MS);
+        let events = injector.events();
+        let comm_world = CommWorld::new(world)
+            .with_deadline(DEADLINE)
+            .with_faults(injector);
+
+        // Each rank runs a fixed SPMD script of collectives, stopping at
+        // its first error (a dead rank must not keep calling; peers of a
+        // stopped rank time out, which is itself a valid outcome).
+        let results = run_world_within(comm_world, BUDGET, move |comm| {
+            let g = comm.world_group();
+            let n = comm.world_size();
+            let mut outcomes: Vec<Result<(), CommError>> = Vec::new();
+            for _ in 0..OPS {
+                let mut v = vec![comm.rank() as f32; n];
+                let res = g.all_to_all(&v).map(|_| ()).and_then(|()| {
+                    v.fill(1.0);
+                    g.all_reduce(&mut v)
+                });
+                let failed = res.is_err();
+                outcomes.push(res);
+                if failed {
+                    break;
+                }
+            }
+            outcomes
+        });
+
+        // The watchdog already proved liveness; check error typing and
+        // the SPMD prefix property: every error is a fault-family error.
+        for (rank, outcomes) in results.iter().enumerate() {
+            prop_assert!(!outcomes.is_empty());
+            for res in outcomes {
+                if let Err(e) = res {
+                    prop_assert!(
+                        fault_is_typed(e),
+                        "rank {} got non-fault error {:?} under schedule {:?}",
+                        rank, e, events
+                    );
+                }
+            }
+            // Errors only terminate the script, never appear mid-stream.
+            let first_err = outcomes.iter().position(Result::is_err);
+            if let Some(i) = first_err {
+                prop_assert_eq!(i, outcomes.len() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible(seed in any::<u64>()) {
+        let a = FaultInjector::single_fault_from_seed(seed, 8, OPS, MAX_DELAY_MS);
+        let b = FaultInjector::single_fault_from_seed(seed, 8, OPS, MAX_DELAY_MS);
+        prop_assert_eq!(a.events(), b.events());
+    }
+}

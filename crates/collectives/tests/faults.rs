@@ -1,0 +1,210 @@
+//! Fault-injection and deadline tests: killed ranks, stragglers, payload
+//! drops, poisoning, and dead-rank declaration. The acceptance bar: a
+//! rank killed mid-AlltoAll must leave every surviving rank with a
+//! *typed error* within the deadline — never a hang.
+
+use std::time::{Duration, Instant};
+
+use collectives::{run_world, run_world_within, CommError, CommWorld, FaultAction, FaultInjector};
+
+const DEADLINE: Duration = Duration::from_millis(500);
+/// Watchdog budget: generous, but far below "hang forever".
+const BUDGET: Duration = Duration::from_secs(10);
+
+#[test]
+fn kill_mid_all_to_all_errors_all_survivors_within_deadline() {
+    let world = CommWorld::new(4)
+        .with_deadline(DEADLINE)
+        .with_faults(FaultInjector::new().kill(2, 0));
+    let start = Instant::now();
+    let results = run_world_within(world, BUDGET, |comm| {
+        let g = comm.world_group();
+        let data = vec![comm.rank() as f32; 4];
+        g.all_to_all(&data)
+    });
+    // No rank may take longer than the deadline plus scheduling slack.
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "survivors took {:?}",
+        start.elapsed()
+    );
+    for (rank, res) in results.iter().enumerate() {
+        let err = res.as_ref().expect_err("every rank must observe the fault");
+        match err {
+            CommError::RankDown { rank: dead } => assert_eq!(*dead, 2),
+            CommError::Timeout { op, waiting_on } => {
+                assert_eq!(*op, "all_to_all");
+                assert!(waiting_on.contains(&2), "rank {rank}: {waiting_on:?}");
+            }
+            other => panic!("rank {rank}: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn killed_rank_stays_dead_for_later_collectives() {
+    let world = CommWorld::new(2)
+        .with_deadline(DEADLINE)
+        .with_faults(FaultInjector::new().kill(1, 0));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let g = comm.world_group();
+        let first = g.barrier();
+        let second = g.barrier();
+        (first, second)
+    });
+    // Rank 1 dies at op 0 and every later call fails the same way.
+    assert_eq!(results[1].0, Err(CommError::RankDown { rank: 1 }));
+    assert_eq!(results[1].1, Err(CommError::RankDown { rank: 1 }));
+    // Rank 0 observes the death on both ops (RankDown fast path or
+    // Timeout if it raced ahead of the kill).
+    for res in [&results[0].0, &results[0].1] {
+        assert!(res.is_err(), "rank 0 must not complete: {res:?}");
+    }
+}
+
+#[test]
+fn straggler_within_deadline_still_completes() {
+    let world = CommWorld::new(3)
+        .with_deadline(Duration::from_secs(5))
+        .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(50)));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let g = comm.world_group();
+        let mut v = vec![comm.rank() as f32];
+        g.all_reduce(&mut v).map(|()| v[0])
+    });
+    for res in results {
+        assert_eq!(res, Ok(3.0));
+    }
+}
+
+#[test]
+fn straggler_beyond_deadline_times_out_peers() {
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(100))
+        .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(400)));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let g = comm.world_group();
+        g.barrier()
+    });
+    // Rank 0 gives up on the straggler; the straggler, arriving to an
+    // abandoned rendezvous, times out too. Nobody hangs.
+    assert_eq!(
+        results[0],
+        Err(CommError::Timeout {
+            op: "barrier",
+            waiting_on: vec![1],
+        })
+    );
+    assert!(results[1].is_err());
+}
+
+#[test]
+fn timed_out_op_can_be_retried_with_same_payload() {
+    // Retry semantics the fsmoe layer relies on: a rank that times out
+    // withdraws its deposit and re-enters with the *same* payload; a
+    // straggling peer that finally arrives joins the retry and the op
+    // completes with a consistent result on both sides.
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(150))
+        .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(300)));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let g = comm.world_group();
+        let base = vec![comm.rank() as f32 + 1.0];
+        let mut attempts = 0;
+        loop {
+            let mut v = base.clone();
+            match g.all_reduce(&mut v) {
+                Ok(()) => return (attempts, v[0]),
+                Err(CommError::Timeout { .. }) if attempts < 10 => attempts += 1,
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+    });
+    for (rank, (_, sum)) in results.iter().enumerate() {
+        assert_eq!(*sum, 3.0, "rank {rank} retry produced wrong sum");
+    }
+}
+
+#[test]
+fn payload_drop_zeroes_contribution() {
+    let world = CommWorld::new(2).with_faults(FaultInjector::new().drop_payload(1, 0));
+    let results = run_world(world, |comm| {
+        let g = comm.world_group();
+        let mut v = vec![comm.rank() as f32 + 1.0, comm.rank() as f32 + 1.0];
+        g.all_reduce(&mut v).unwrap();
+        v
+    });
+    // Rank 1's [2,2] was zero-filled: the sum is rank 0's [1,1] alone.
+    for r in results {
+        assert_eq!(r, vec![1.0, 1.0]);
+    }
+}
+
+#[test]
+fn panicking_rank_poisons_group_for_peers() {
+    let world = CommWorld::new(2).with_deadline(DEADLINE);
+    let comms = world.into_communicators();
+    let mut comms = comms.into_iter();
+    let c0 = comms.next().unwrap();
+    let c1 = comms.next().unwrap();
+
+    let t1 = std::thread::spawn(move || {
+        let g = c1.world_group();
+        // Arrive last (the last arrival runs the reduction) with a
+        // mismatched buffer length, so this thread panics mid-collective
+        // while rank 0 is already committed to the rendezvous.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut v = vec![1.0f32, 2.0];
+        let _ = g.all_reduce(&mut v);
+    });
+    let t0 = std::thread::spawn(move || {
+        let g = c0.world_group();
+        let mut v = vec![1.0f32];
+        g.all_reduce(&mut v)
+    });
+
+    assert!(t1.join().is_err(), "rank 1 must panic (length mismatch)");
+    let r0 = t0.join().unwrap();
+    match r0 {
+        Err(CommError::Poisoned { .. }) | Err(CommError::Timeout { .. }) => {}
+        other => panic!("rank 0 should observe poisoning or timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn declare_dead_fails_in_flight_collective() {
+    let world = CommWorld::new(2).with_deadline(Duration::from_secs(5));
+    let comms = world.into_communicators();
+    let observer = comms[0].clone();
+    let mut comms = comms.into_iter();
+    let c0 = comms.next().unwrap();
+    let _c1 = comms.next().unwrap(); // never joins — it is "crashed"
+
+    let t0 = std::thread::spawn(move || {
+        let g = c0.world_group();
+        g.barrier()
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    // A failure detector (here: the test) declares rank 1 dead.
+    observer.declare_dead(1);
+    let res = t0.join().unwrap();
+    assert_eq!(res, Err(CommError::RankDown { rank: 1 }));
+}
+
+#[test]
+fn fault_action_is_inspectable() {
+    let inj = FaultInjector::new()
+        .kill(0, 1)
+        .delay(1, 2, Duration::from_millis(5))
+        .drop_payload(2, 3);
+    let mut events = inj.events();
+    events.sort_by_key(|&(r, o, _)| (r, o));
+    assert_eq!(
+        events,
+        vec![
+            (0, 1, FaultAction::Kill),
+            (1, 2, FaultAction::Delay(Duration::from_millis(5))),
+            (2, 3, FaultAction::DropPayload),
+        ]
+    );
+}

@@ -20,7 +20,7 @@ proptest! {
                 .map(|i| ((seed as usize + comm.rank() * 31 + i) % 17) as f32)
                 .collect();
             let mine = data.clone();
-            g.all_reduce(&mut data);
+            g.all_reduce(&mut data).unwrap();
             (mine, data)
         });
         let mut expect = vec![0.0f32; len];
@@ -63,7 +63,7 @@ proptest! {
         let results = run_ranks(world, move |comm| {
             let g = comm.world_group();
             let data: Vec<f32> = (0..chunk).map(|i| (comm.rank() * 10 + i) as f32).collect();
-            let gathered = g.all_gather(&data);
+            let gathered = g.all_gather(&data).unwrap();
             let back = g.reduce_scatter(&gathered).unwrap();
             (data, back)
         });

@@ -8,7 +8,7 @@ fn all_reduce_is_elementwise_sum() {
     let results = run_ranks(4, |comm| {
         let g = comm.world_group();
         let mut data = vec![comm.rank() as f32, 10.0 * comm.rank() as f32];
-        g.all_reduce(&mut data);
+        g.all_reduce(&mut data).unwrap();
         data
     });
     for r in results {
@@ -21,6 +21,7 @@ fn all_gather_concatenates_in_rank_order() {
     let results = run_ranks(3, |comm| {
         let g = comm.world_group();
         g.all_gather(&[comm.rank() as f32, -(comm.rank() as f32)])
+            .unwrap()
     });
     for r in results {
         assert_eq!(r, vec![0.0, 0.0, 1.0, -1.0, 2.0, -2.0]);
@@ -46,9 +47,9 @@ fn reduce_scatter_then_all_gather_equals_all_reduce() {
         let g = comm.world_group();
         let data: Vec<f32> = (0..8).map(|i| (comm.rank() * 8 + i) as f32).collect();
         let scattered = g.reduce_scatter(&data).unwrap();
-        let via_rs_ag = g.all_gather(&scattered);
+        let via_rs_ag = g.all_gather(&scattered).unwrap();
         let mut via_ar = data;
-        g.all_reduce(&mut via_ar);
+        g.all_reduce(&mut via_ar).unwrap();
         (via_rs_ag, via_ar)
     });
     for (a, b) in results {
@@ -121,7 +122,7 @@ fn bad_buffer_lengths_error() {
         let bcast_err = g.broadcast(5, &mut [1.0]).is_err();
         // A real collective afterwards still works (errors don't poison).
         let mut v = vec![1.0];
-        g.all_reduce(&mut v);
+        g.all_reduce(&mut v).unwrap();
         (a2a_err, rs_err, bcast_err, v[0])
     });
     for (a, b, c, sum) in results {
@@ -140,7 +141,7 @@ fn disjoint_subgroups_operate_independently() {
         };
         let g = comm.subgroup(&pair).unwrap();
         let mut v = vec![comm.rank() as f32];
-        g.all_reduce(&mut v);
+        g.all_reduce(&mut v).unwrap();
         v[0]
     });
     assert_eq!(results, vec![1.0, 1.0, 5.0, 5.0]);
@@ -165,8 +166,8 @@ fn overlapping_group_families_compose() {
         let mp = comm.subgroup(&topo.mp_group(comm.rank())).unwrap();
         let ep = comm.subgroup(&topo.ep_group(comm.rank())).unwrap();
         let mut v = vec![comm.rank() as f32];
-        mp.all_reduce(&mut v); // {0,1}→1, {2,3}→5
-        ep.all_reduce(&mut v); // {0,2}: 1+5=6; {1,3}: 1+5=6
+        mp.all_reduce(&mut v).unwrap(); // {0,1}→1, {2,3}→5
+        ep.all_reduce(&mut v).unwrap(); // {0,2}: 1+5=6; {1,3}: 1+5=6
         v[0]
     });
     assert_eq!(results, vec![6.0; 4]);
@@ -181,7 +182,7 @@ fn repeated_collectives_do_not_cross_talk() {
         let mut totals = Vec::new();
         for round in 0..50 {
             let mut v = vec![(comm.rank() + round) as f32];
-            g.all_reduce(&mut v);
+            g.all_reduce(&mut v).unwrap();
             totals.push(v[0]);
         }
         totals
@@ -202,7 +203,7 @@ fn barrier_synchronizes() {
     let results = run_ranks(4, move |comm| {
         let g = comm.world_group();
         c2.fetch_add(1, Ordering::SeqCst);
-        g.barrier();
+        g.barrier().unwrap();
         // after the barrier, every rank must observe all 4 arrivals
         c2.load(Ordering::SeqCst)
     });
@@ -217,7 +218,7 @@ fn large_world_all_reduce() {
     let results = run_ranks(n, move |comm| {
         let g = comm.world_group();
         let mut v = vec![1.0f32; 1000];
-        g.all_reduce(&mut v);
+        g.all_reduce(&mut v).unwrap();
         v
     });
     for r in results {

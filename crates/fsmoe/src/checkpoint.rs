@@ -6,6 +6,14 @@
 //! survives process restarts (and, in the paper's setting,
 //! re-scheduling decisions: the checkpoint is schedule-independent
 //! because the data plane is).
+//!
+//! On-disk durability is crash-safe: [`LayerCheckpoint::save`] writes a
+//! temporary sibling file and renames it over the target, so a crash
+//! mid-write leaves either the old checkpoint or the new one — never a
+//! torn file. Restore rejects truncated or NaN/∞-bearing payloads with
+//! [`MoeError::CorruptCheckpoint`] instead of loading garbage weights.
+
+use std::path::Path;
 
 use jsonio::Json;
 use tensor::Tensor;
@@ -95,6 +103,41 @@ impl LayerCheckpoint {
             experts,
         })
     }
+
+    /// Writes the checkpoint to `path` atomically: the JSON goes to a
+    /// `<path>.tmp` sibling first, then a rename publishes it, so readers
+    /// never observe a partially written file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::CheckpointIo`] when the write or rename fails.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let io_err = |reason: std::io::Error| MoeError::CheckpointIo {
+            path: path.display().to_string(),
+            reason: reason.to_string(),
+        };
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Reads and validates a checkpoint previously written by
+    /// [`Self::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::CheckpointIo`] when the file cannot be read
+    /// and [`MoeError::CorruptCheckpoint`] when its contents are
+    /// truncated, malformed, or carry non-finite weights.
+    pub fn load(path: &Path) -> Result<LayerCheckpoint> {
+        let text = std::fs::read_to_string(path).map_err(|e| MoeError::CheckpointIo {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        Self::from_json(&text)
+    }
 }
 
 fn tensor_to_json(t: &Tensor) -> Json {
@@ -119,6 +162,11 @@ fn tensor_from_json(value: &Json) -> Result<Tensor> {
         .iter()
         .map(|v| v.as_f64().map(|f| f as f32).map_err(bad_json))
         .collect::<Result<Vec<_>>>()?;
+    if let Some(bad) = data.iter().find(|v| !v.is_finite()) {
+        return Err(MoeError::CorruptCheckpoint {
+            reason: format!("non-finite weight {bad} in tensor of dims {dims:?}"),
+        });
+    }
     Tensor::from_vec(data, &dims).map_err(|e| MoeError::BadInput {
         expected: format!("valid tensor payload: {e}"),
         actual: dims,
@@ -126,9 +174,8 @@ fn tensor_from_json(value: &Json) -> Result<Tensor> {
 }
 
 fn bad_json(e: jsonio::JsonError) -> MoeError {
-    MoeError::BadInput {
-        expected: format!("well-formed checkpoint JSON: {e}"),
-        actual: vec![],
+    MoeError::CorruptCheckpoint {
+        reason: format!("truncated or malformed checkpoint JSON: {e}"),
     }
 }
 
@@ -243,6 +290,64 @@ mod tests {
             r#"{"gate_name":"g","gate":[{"dims":[2,2],"data":[1.0]}],"experts":[]}"#
         )
         .is_err());
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fsmoe-ckpt-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_round_trips() {
+        let cfg = config();
+        let mut rng = TensorRng::seed_from(7);
+        let layer = MoeLayer::gshard(&cfg, &mut rng).unwrap();
+        let snap = layer.checkpoint();
+        let path = temp_path("atomic.json");
+        snap.save(&path).unwrap();
+        // the temporary staging file must not outlive the rename
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "staging file must be renamed away"
+        );
+        let back = LayerCheckpoint::load(&path).unwrap();
+        assert_eq!(snap, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = LayerCheckpoint::load(Path::new("/nonexistent/dir/ckpt.json")).unwrap_err();
+        assert!(matches!(err, MoeError::CheckpointIo { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let cfg = config();
+        let mut rng = TensorRng::seed_from(8);
+        let snap = MoeLayer::gshard(&cfg, &mut rng).unwrap().checkpoint();
+        let json = snap.to_json();
+        let path = temp_path("truncated.json");
+        // simulate a torn write: only half the bytes made it to disk
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let err = LayerCheckpoint::load(&path).unwrap_err();
+        assert!(matches!(err, MoeError::CorruptCheckpoint { .. }), "{err:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn from_json_rejects_non_finite_weights() {
+        // 1e999 overflows f64 parsing to infinity; NaN can't appear in
+        // JSON literals, so ∞ is the smuggling vector to guard.
+        let doc = r#"{"gate_name":"g","gate":[{"dims":[1],"data":[1e999]}],"experts":[]}"#;
+        let err = LayerCheckpoint::from_json(doc).unwrap_err();
+        assert!(
+            matches!(err, MoeError::CorruptCheckpoint { ref reason } if reason.contains("non-finite")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -127,7 +127,7 @@ impl Dispatcher for Hier1DH {
 
         // Phase 1: intra-node AllGather — every GPU of the node now holds
         // the full node payload (n1 ranks × n chunks).
-        let gathered = intra.all_gather(data); // n1 * n * c
+        let gathered = intra.all_gather(data)?; // n1 * n * c
 
         // Phase 2: inter-node AlltoAll among same-local peers. To node
         // j' we send, for every source local i'' of our node, the chunk

@@ -19,16 +19,91 @@
 //! single-process [`MoeLayer`](crate::layer::MoeLayer) reference —
 //! distribution, like scheduling, must never change the numbers.
 
-use collectives::{Communicator, GroupComm, HybridTopology};
+use std::time::Duration;
+
+use collectives::{CommError, Communicator, GroupComm, HybridTopology};
 use tensor::{Tensor, TensorRng};
 
 use crate::config::MoeConfig;
 use crate::dispatch::{DispatchCtx, Dispatcher, NcclA2A};
 use crate::expert::{build_expert, for_each_expert, Expert, ExpertState};
 use crate::gate::{GShardGate, Gate};
+use crate::hooks::{MoeHooks, NoopHooks};
 use crate::order::{combine_backward, order_backward, OrderFn, TutelOrdering};
 use crate::routing::Routing;
 use crate::{MoeError, Result};
+
+/// Retry/degradation policy for the EP-group AlltoAll collectives.
+///
+/// When a dispatch or combine AlltoAll fails with a *recoverable* fault
+/// (a peer timed out or a peer other than this rank is down), the layer
+/// retries up to `max_retries` times with linear backoff. If the fault
+/// persists and `drop_on_failure` is set, the layer degrades gracefully:
+/// the exchange's tokens are dropped (zero-filled, the paper's
+/// capacity-drop semantics — dropped tokens ride the residual path) and
+/// the per-layer drop counter plus the
+/// [`MoeHooks::on_tokens_dropped`] hook record the loss. With
+/// `drop_on_failure` unset, the layer propagates the error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// How many times to re-enter a failed AlltoAll before giving up.
+    pub max_retries: usize,
+    /// Base backoff between attempts (attempt `k` sleeps `k · backoff`).
+    pub backoff: Duration,
+    /// Degrade (drop tokens) instead of failing the whole layer.
+    pub drop_on_failure: bool,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(5),
+            drop_on_failure: true,
+        }
+    }
+}
+
+/// Whether a collective failure is worth retrying/degrading on this
+/// rank. This rank being dead is terminal; so are poisoning and the
+/// structural errors (bad buffers, SPMD violations).
+fn recoverable(err: &CommError, self_rank: usize) -> bool {
+    match err {
+        CommError::Timeout { .. } => true,
+        CommError::RankDown { rank } => *rank != self_rank,
+        _ => false,
+    }
+}
+
+/// Runs one AlltoAll under `policy`. `Ok(Some(out))` is a completed
+/// exchange; `Ok(None)` means the exchange was abandoned after retries
+/// and the caller must degrade (zero-fill).
+fn a2a_with_policy(
+    dispatcher: &dyn Dispatcher,
+    policy: FaultPolicy,
+    self_rank: usize,
+    data: &[f32],
+    ctx: &DispatchCtx<'_>,
+) -> Result<Option<Vec<f32>>> {
+    let mut attempt = 0usize;
+    loop {
+        match dispatcher.all_to_all(data, ctx) {
+            Ok(out) => return Ok(Some(out)),
+            Err(MoeError::Comm(e)) if recoverable(&e, self_rank) => {
+                if attempt < policy.max_retries {
+                    attempt += 1;
+                    std::thread::sleep(policy.backoff * attempt as u32);
+                    continue;
+                }
+                if policy.drop_on_failure {
+                    return Ok(None);
+                }
+                return Err(MoeError::Comm(e));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// Gradients produced by [`DistMoeLayer::backward`] on one rank.
 #[derive(Debug, Clone)]
@@ -58,6 +133,13 @@ pub struct DistMoeLayer {
     esp_group: GroupComm,
     experts_per_ep: usize,
     state: Option<DistState>,
+    /// This rank's global rank (to tell "a peer died" from "I died").
+    rank: usize,
+    fault_policy: FaultPolicy,
+    hooks: Box<dyn MoeHooks>,
+    /// Token assignments dropped by graceful degradation since
+    /// construction.
+    dropped_tokens: usize,
 }
 
 impl std::fmt::Debug for DistMoeLayer {
@@ -187,12 +269,44 @@ impl DistMoeLayer {
             esp_group,
             experts_per_ep,
             state: None,
+            rank: comm.rank(),
+            fault_policy: FaultPolicy::default(),
+            hooks: Box::new(NoopHooks),
+            dropped_tokens: 0,
         })
     }
 
     /// Replaces the AlltoAll algorithm (flat dispatch context).
     pub fn set_dispatcher(&mut self, dispatcher: Box<dyn Dispatcher>) {
         self.dispatcher = dispatcher;
+    }
+
+    /// Replaces the retry/degradation policy for dispatch collectives.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.fault_policy = policy;
+    }
+
+    /// The active retry/degradation policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Installs an extension hook set (degradation drops are reported to
+    /// [`MoeHooks::on_tokens_dropped`]).
+    pub fn set_hooks(&mut self, hooks: Box<dyn MoeHooks>) {
+        self.hooks = hooks;
+    }
+
+    /// Token assignments dropped by graceful degradation so far.
+    pub fn dropped_tokens(&self) -> usize {
+        self.dropped_tokens
+    }
+
+    /// Records a degraded exchange: `count` token assignments fell back
+    /// to the residual path.
+    fn record_drop(&mut self, count: usize) {
+        self.dropped_tokens += count;
+        self.hooks.on_tokens_dropped(count);
     }
 
     /// This rank's local expert shards.
@@ -241,12 +355,29 @@ impl DistMoeLayer {
         let routing = self.gate.route(input, t, rng)?;
         let buffer = self.order.order(input, &routing)?; // (E·T, M)
 
-        // AlltoAll dispatch over the EP group.
-        let ctx = DispatchCtx::flat(&self.ep_group);
-        let received = self.dispatcher.all_to_all(buffer.data(), &ctx)?;
+        // AlltoAll dispatch over the EP group, with retry/degradation:
+        // an unreachable peer drops this exchange's tokens (zero-fill)
+        // rather than failing the step.
+        let dispatched = {
+            let ctx = DispatchCtx::flat(&self.ep_group);
+            a2a_with_policy(
+                self.dispatcher.as_ref(),
+                self.fault_policy,
+                self.rank,
+                buffer.data(),
+                &ctx,
+            )?
+        };
+        let received = match dispatched {
+            Some(out) => out,
+            None => {
+                self.record_drop(routing.assignments().len());
+                vec![0.0f32; buffer.num_elements()]
+            }
+        };
 
         // ESP-AllGather: replicate the node's token set to all shards.
-        let gathered = self.esp_group.all_gather(&received);
+        let gathered = self.esp_group.all_gather(&received)?;
         let gathered_rows = gathered.len() / m;
 
         // Expert shard computation: local shards are independent, so
@@ -268,8 +399,24 @@ impl DistMoeLayer {
         let reduced = self.esp_group.reduce_scatter(&shard_out)?;
 
         // AlltoAll combine over the EP group (the transpose is its own
-        // inverse).
-        let combined = self.dispatcher.all_to_all(&reduced, &ctx)?;
+        // inverse), degrading like the dispatch leg.
+        let combine = {
+            let ctx = DispatchCtx::flat(&self.ep_group);
+            a2a_with_policy(
+                self.dispatcher.as_ref(),
+                self.fault_policy,
+                self.rank,
+                &reduced,
+                &ctx,
+            )?
+        };
+        let combined = match combine {
+            Some(out) => out,
+            None => {
+                self.record_drop(routing.assignments().len());
+                vec![0.0f32; reduced.len()]
+            }
+        };
         let expert_out = Tensor::from_vec(combined, &[self.config.num_experts * t, m])?;
 
         let output = self.order.inverse(&expert_out, &routing)?;
@@ -285,9 +432,15 @@ impl DistMoeLayer {
     /// collectives (the adjoint of AllGather is ReduceScatter and vice
     /// versa; AlltoAll is self-adjoint).
     ///
+    /// Unlike [`DistMoeLayer::forward`], backward does *not* degrade on
+    /// collective failure: a half-exchanged gradient would silently skew
+    /// the update, so faults propagate as errors and recovery is the
+    /// caller's job (checkpoint rollback, see `models::recovery`).
+    ///
     /// # Errors
     ///
-    /// Returns [`MoeError::NoForwardState`] before any forward.
+    /// Returns [`MoeError::NoForwardState`] before any forward, and
+    /// propagates collective faults ([`MoeError::Comm`]).
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<DistMoeGrads> {
         let state = self.state.as_ref().ok_or(MoeError::NoForwardState)?;
         let m = self.config.embed_dim;
@@ -301,7 +454,7 @@ impl DistMoeLayer {
         let grad_reduced = self.dispatcher.all_to_all(grad_expert_out.data(), &ctx)?;
 
         // ReduceScatter adjoint: AllGather the gradient slices.
-        let grad_shard_out = self.esp_group.all_gather(&grad_reduced);
+        let grad_shard_out = self.esp_group.all_gather(&grad_reduced)?;
         debug_assert_eq!(grad_shard_out.len() / m, state.gathered_rows);
 
         // Expert shard backward, fanned out like the forward pass.

@@ -24,6 +24,19 @@ pub enum MoeError {
     Tensor(tensor::TensorError),
     /// A collective operation failed.
     Comm(collectives::CommError),
+    /// A checkpoint file could not be read or written.
+    CheckpointIo {
+        /// Path involved.
+        path: String,
+        /// Underlying I/O failure.
+        reason: String,
+    },
+    /// A checkpoint's contents failed validation (truncated JSON,
+    /// non-finite weights, …) and must not be restored.
+    CorruptCheckpoint {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MoeError {
@@ -38,6 +51,12 @@ impl fmt::Display for MoeError {
             MoeError::NoForwardState => write!(f, "backward called before forward"),
             MoeError::Tensor(e) => write!(f, "tensor error: {e}"),
             MoeError::Comm(e) => write!(f, "communication error: {e}"),
+            MoeError::CheckpointIo { path, reason } => {
+                write!(f, "checkpoint I/O failed at {path}: {reason}")
+            }
+            MoeError::CorruptCheckpoint { reason } => {
+                write!(f, "corrupt checkpoint rejected: {reason}")
+            }
         }
     }
 }
@@ -80,6 +99,20 @@ mod tests {
         let t = MoeError::from(tensor::TensorError::InvalidK { k: 3, axis_len: 2 });
         assert!(t.source().is_some());
         assert!(t.to_string().contains("tensor error"));
+
+        let io = MoeError::CheckpointIo {
+            path: "/tmp/ckpt.json".into(),
+            reason: "permission denied".into(),
+        };
+        assert!(io.to_string().contains("/tmp/ckpt.json"));
+        assert!(io.source().is_none());
+
+        let corrupt = MoeError::CorruptCheckpoint {
+            reason: "non-finite value in gate tensor".into(),
+        };
+        assert!(corrupt.to_string().contains("corrupt checkpoint"));
+        assert!(corrupt.to_string().contains("non-finite"));
+        assert_eq!(corrupt.clone(), corrupt);
     }
 
     #[test]

@@ -79,6 +79,15 @@ pub trait MoeHooks: std::fmt::Debug + Send {
         let _ = output;
         Ok(())
     }
+
+    /// Notification that the layer dropped `count` token assignments
+    /// because a dispatch collective could not reach its peers (graceful
+    /// degradation: the tokens fall back to their residual path, the
+    /// paper's capacity-drop semantics). Statistics-only — it cannot
+    /// veto the drop.
+    fn on_tokens_dropped(&mut self, count: usize) {
+        let _ = count;
+    }
 }
 
 /// The default hook set: does nothing at every point.
@@ -86,6 +95,23 @@ pub trait MoeHooks: std::fmt::Debug + Send {
 pub struct NoopHooks;
 
 impl MoeHooks for NoopHooks {}
+
+/// A statistics hook that accumulates degradation drops reported via
+/// [`MoeHooks::on_tokens_dropped`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropCounterHooks {
+    /// Total token assignments dropped so far.
+    pub dropped: usize,
+    /// Number of drop events (failed collectives), regardless of size.
+    pub events: usize,
+}
+
+impl MoeHooks for DropCounterHooks {
+    fn on_tokens_dropped(&mut self, count: usize) {
+        self.dropped += count;
+        self.events += 1;
+    }
+}
 
 /// A demonstration hook that emulates communication compression: it
 /// quantises the dispatch buffer before the AlltoAll and tracks how many
@@ -146,6 +172,19 @@ mod tests {
         h.before_dispatch(&mut t, &routing).unwrap();
         assert_eq!(t.data(), &[0.5, 1.5, -0.0]);
         assert_eq!(h.elements, 3);
+    }
+
+    #[test]
+    fn drop_counter_accumulates() {
+        let mut h = DropCounterHooks::default();
+        h.on_tokens_dropped(3);
+        h.on_tokens_dropped(5);
+        assert_eq!(h.dropped, 8);
+        assert_eq!(h.events, 2);
+        // default impl is a no-op on other hooks
+        let mut t = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        h.before_moe_end(&mut t).unwrap();
+        assert_eq!(t.data(), &[1.0]);
     }
 
     #[test]

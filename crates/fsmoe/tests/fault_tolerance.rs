@@ -1,0 +1,166 @@
+//! Graceful degradation of the distributed MoE layer under injected
+//! faults: a dead EP peer costs the affected exchange's tokens (the
+//! paper's capacity-drop semantics), never the training step — and
+//! never a hang.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use collectives::{
+    run_world_within, CommError, CommWorld, FaultInjector, HybridTopology, ParallelDims,
+};
+use fsmoe::config::MoeConfig;
+use fsmoe::dist::{DistMoeLayer, FaultPolicy};
+use fsmoe::hooks::{MoeHooks, NoopHooks};
+use fsmoe::MoeError;
+use tensor::{Tensor, TensorRng};
+
+const SEED: u64 = 77;
+const BUDGET: Duration = Duration::from_secs(30);
+
+/// Two GPUs on one node, pure expert parallelism (one expert each).
+fn two_rank_topology() -> HybridTopology {
+    HybridTopology::new(
+        1,
+        2,
+        ParallelDims {
+            dp: 2,
+            mp: 1,
+            ep: 2,
+            esp: 1,
+        },
+    )
+    .unwrap()
+}
+
+fn config() -> MoeConfig {
+    MoeConfig::builder()
+        .batch_size(1)
+        .seq_len(6)
+        .embed_dim(8)
+        .hidden_dim(16)
+        .num_experts(2)
+        .top_k(1)
+        .no_drop()
+        .build()
+        .unwrap()
+}
+
+fn input_block(cfg: &MoeConfig, rank: usize) -> Tensor {
+    let mut rng = TensorRng::seed_from(4000 + rank as u64);
+    rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0)
+}
+
+/// Hook that mirrors drop notifications into a shared counter so the
+/// test can observe them from outside the layer.
+#[derive(Debug)]
+struct SharedDropCounter(Arc<AtomicUsize>);
+
+impl MoeHooks for SharedDropCounter {
+    fn on_tokens_dropped(&mut self, count: usize) {
+        self.0.fetch_add(count, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn dead_peer_degrades_survivor_and_errors_the_dead_rank() {
+    let cfg = config();
+    let hook_drops = Arc::new(AtomicUsize::new(0));
+    let hook_drops2 = Arc::clone(&hook_drops);
+    // Rank 1 dies entering its first collective (the dispatch AlltoAll).
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(400))
+        .with_faults(FaultInjector::new().kill(1, 0));
+    let results = run_world_within(world, BUDGET, move |comm| {
+        let topo = two_rank_topology();
+        let cfg = config();
+        let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+        layer.set_hooks(Box::new(SharedDropCounter(Arc::clone(&hook_drops2))));
+        let x = input_block(&cfg, comm.rank());
+        let mut rng = TensorRng::seed_from(0);
+        let out = layer.forward(&x, &mut rng);
+        (out, layer.dropped_tokens())
+    });
+
+    // The dead rank's own forward fails with its own RankDown.
+    let (dead_out, dead_drops) = &results[1];
+    match dead_out {
+        Err(MoeError::Comm(CommError::RankDown { rank })) => assert_eq!(*rank, 1),
+        other => panic!("dead rank must fail with RankDown, got {other:?}"),
+    }
+    assert_eq!(*dead_drops, 0, "a dead rank drops nothing — it is gone");
+
+    // The survivor completes the step: both AlltoAll legs degraded, its
+    // routed tokens were zero-filled, and the accounting saw both drops.
+    let (alive_out, alive_drops) = &results[0];
+    let out = alive_out.as_ref().expect("survivor must complete");
+    assert_eq!(out.dims(), &[cfg.tokens(), cfg.embed_dim]);
+    assert!(
+        out.data().iter().all(|&v| v == 0.0),
+        "degraded output is the zero fallback (residual path carries the tokens)"
+    );
+    let routed = cfg.tokens(); // top-1, no-drop: every token is assigned
+    assert_eq!(
+        *alive_drops,
+        2 * routed,
+        "dispatch and combine legs each drop the routed tokens"
+    );
+    assert_eq!(hook_drops.load(Ordering::SeqCst), 2 * routed);
+}
+
+#[test]
+fn strict_policy_propagates_instead_of_dropping() {
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(300))
+        .with_faults(FaultInjector::new().kill(1, 0));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let topo = two_rank_topology();
+        let cfg = config();
+        let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+        layer.set_fault_policy(FaultPolicy {
+            max_retries: 1,
+            backoff: Duration::from_millis(1),
+            drop_on_failure: false,
+        });
+        let x = input_block(&cfg, comm.rank());
+        let mut rng = TensorRng::seed_from(0);
+        (layer.forward(&x, &mut rng).err(), layer.dropped_tokens())
+    });
+    for (rank, (err, drops)) in results.iter().enumerate() {
+        assert!(
+            matches!(
+                err,
+                Some(MoeError::Comm(
+                    CommError::RankDown { .. } | CommError::Timeout { .. }
+                ))
+            ),
+            "rank {rank}: {err:?}"
+        );
+        assert_eq!(*drops, 0, "strict policy never drops");
+    }
+}
+
+#[test]
+fn straggling_peer_within_deadline_costs_nothing() {
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_secs(5))
+        .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(40)));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let topo = two_rank_topology();
+        let cfg = config();
+        let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+        layer.set_hooks(Box::new(NoopHooks));
+        let x = input_block(&cfg, comm.rank());
+        let mut rng = TensorRng::seed_from(0);
+        let out = layer.forward(&x, &mut rng).unwrap();
+        (out, layer.dropped_tokens())
+    });
+    for (rank, (out, drops)) in results.iter().enumerate() {
+        assert_eq!(*drops, 0, "rank {rank} must not drop");
+        assert!(
+            out.data().iter().any(|&v| v != 0.0),
+            "rank {rank} produced a real output"
+        );
+    }
+}

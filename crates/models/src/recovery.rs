@@ -1,0 +1,176 @@
+//! Checkpoint-based training recovery.
+//!
+//! Production MoE training survives rank failures by rolling back to the
+//! last consistent checkpoint and replaying. [`RecoveryDriver`] packages
+//! that protocol for a training loop over an
+//! [`MoeLayer`](fsmoe::layer::MoeLayer):
+//!
+//! * every `interval` steps it snapshots the layer's
+//!   [`LayerCheckpoint`] *and* the routing RNG state — both are needed
+//!   for exact replay, because gates consume randomness every step;
+//! * when a step fails (collective fault, poisoned group, corrupted
+//!   state), [`RecoveryDriver::recover`] restores weights, RNG, and the
+//!   step counter to the snapshot and the loop resumes from there;
+//! * with a checkpoint directory configured, snapshots also go to disk
+//!   via the atomic writer in `fsmoe::checkpoint`, and recovery restores
+//!   from the on-disk copy — exercising the path a process restart
+//!   would take.
+//!
+//! The recovery test proves the property that makes this trustworthy:
+//! a run that faults and recovers ends with weights **bit-identical**
+//! to a run that never faulted.
+
+use std::path::PathBuf;
+
+use fsmoe::checkpoint::LayerCheckpoint;
+use fsmoe::layer::MoeLayer;
+use fsmoe::{MoeError, Result};
+use tensor::{Tensor, TensorRng};
+
+/// A consistent training snapshot: everything needed for exact replay.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    step: usize,
+    checkpoint: LayerCheckpoint,
+    route_rng: TensorRng,
+}
+
+/// A fault-tolerant training loop driver: snapshot every `interval`
+/// steps, roll back on failure.
+#[derive(Debug)]
+pub struct RecoveryDriver {
+    layer: MoeLayer,
+    route_rng: TensorRng,
+    interval: usize,
+    step: usize,
+    snapshot: Snapshot,
+    checkpoint_dir: Option<PathBuf>,
+    recoveries: usize,
+}
+
+impl RecoveryDriver {
+    /// Wraps `layer` with snapshot-every-`interval`-steps recovery. An
+    /// initial snapshot is taken immediately, so recovery is always
+    /// possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is zero.
+    pub fn new(layer: MoeLayer, route_rng: TensorRng, interval: usize) -> Self {
+        assert!(interval > 0, "snapshot interval must be positive");
+        let snapshot = Snapshot {
+            step: 0,
+            checkpoint: layer.checkpoint(),
+            route_rng: route_rng.clone(),
+        };
+        RecoveryDriver {
+            layer,
+            route_rng,
+            interval,
+            step: 0,
+            snapshot,
+            checkpoint_dir: None,
+            recoveries: 0,
+        }
+    }
+
+    /// Also persists every snapshot to `dir` (atomically) and restores
+    /// from the on-disk copy during recovery, as a restarted process
+    /// would.
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: PathBuf) -> Self {
+        self.checkpoint_dir = Some(dir);
+        self
+    }
+
+    /// The wrapped layer.
+    pub fn layer(&self) -> &MoeLayer {
+        &self.layer
+    }
+
+    /// Steps completed since construction (rolled back on recovery).
+    pub fn current_step(&self) -> usize {
+        self.step
+    }
+
+    /// The step the latest snapshot was taken at.
+    pub fn last_snapshot_step(&self) -> usize {
+        self.snapshot.step
+    }
+
+    /// How many times [`RecoveryDriver::recover`] has run.
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    fn snapshot_path(&self, step: usize) -> Option<PathBuf> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("step-{step}.json")))
+    }
+
+    fn take_snapshot(&mut self) -> Result<()> {
+        let checkpoint = self.layer.checkpoint();
+        if let Some(path) = self.snapshot_path(self.step) {
+            checkpoint.save(&path)?;
+        }
+        self.snapshot = Snapshot {
+            step: self.step,
+            checkpoint,
+            route_rng: self.route_rng.clone(),
+        };
+        Ok(())
+    }
+
+    /// Runs one SGD training step (forward, unit output gradient,
+    /// backward, update), snapshotting first when the step counter is on
+    /// the interval.
+    ///
+    /// On failure the layer and RNG may hold partial step state — call
+    /// [`RecoveryDriver::recover`] before continuing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer failures (shape errors, collective faults,
+    /// checkpoint I/O).
+    pub fn step(&mut self, input: &Tensor, lr: f32) -> Result<Tensor> {
+        if self.step.is_multiple_of(self.interval) {
+            self.take_snapshot()?;
+        }
+        let output = self.layer.forward(input, &mut self.route_rng)?;
+        let grads = self.layer.backward(&Tensor::ones(output.dims()))?;
+        self.layer.apply_grads(&grads, lr)?;
+        self.step += 1;
+        Ok(output)
+    }
+
+    /// Rolls back to the latest snapshot: weights, RNG stream, and step
+    /// counter. Returns the step training resumes from.
+    ///
+    /// # Errors
+    ///
+    /// Returns checkpoint I/O or validation errors when the on-disk
+    /// snapshot is unreadable or corrupt (in-memory recovery cannot
+    /// fail).
+    pub fn recover(&mut self) -> Result<usize> {
+        let checkpoint = match self.snapshot_path(self.snapshot.step) {
+            // Restore from disk when configured — the restart path. The
+            // atomic writer guarantees this file is never torn.
+            Some(path) => LayerCheckpoint::load(&path)?,
+            None => self.snapshot.checkpoint.clone(),
+        };
+        if checkpoint != self.snapshot.checkpoint {
+            return Err(MoeError::CorruptCheckpoint {
+                reason: format!(
+                    "on-disk snapshot for step {} disagrees with memory",
+                    self.snapshot.step
+                ),
+            });
+        }
+        self.layer.restore(&checkpoint)?;
+        self.route_rng = self.snapshot.route_rng.clone();
+        self.step = self.snapshot.step;
+        self.recoveries += 1;
+        Ok(self.step)
+    }
+}

@@ -62,6 +62,22 @@ impl Timeline {
     }
 }
 
+/// A fault-model perturbation: `task` runs `extra` ms longer than its
+/// modelled duration (a slow GPU, a contended NIC, a flaky link).
+///
+/// Stragglers feed what-if analysis for the fault-tolerant runtime: an
+/// extra delay on the critical path lengthens the iteration by exactly
+/// that delay; off the critical path it is absorbed by slack. The
+/// engine's [`Engine::simulate_with_stragglers`] makes that exact
+/// accounting available to tests and schedulers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// The task being slowed down.
+    pub task: TaskId,
+    /// Additional duration, ms (must be finite and non-negative).
+    pub extra: f64,
+}
+
 /// Simulates task graphs.
 ///
 /// Resources run their tasks strictly in issue order (CUDA-stream
@@ -88,6 +104,34 @@ impl Engine {
     /// (head-of-line) execution — e.g. task A on stream 1 waiting on task
     /// B that was issued *behind* another stream-1 waiter.
     pub fn simulate(&self, graph: &TaskGraph) -> Result<Timeline> {
+        self.simulate_with_stragglers(graph, &[])
+    }
+
+    /// Runs the graph with injected [`Straggler`] delays added to the
+    /// named tasks' durations. Repeated entries for one task accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownTask`] when a straggler names a task
+    /// outside the graph, [`SimError::BadDuration`] when its extra delay
+    /// is negative or non-finite, and the same scheduling errors as
+    /// [`Engine::simulate`].
+    pub fn simulate_with_stragglers(
+        &self,
+        graph: &TaskGraph,
+        stragglers: &[Straggler],
+    ) -> Result<Timeline> {
+        let mut extra = vec![0.0f64; graph.len()];
+        for s in stragglers {
+            let task = graph.task(s.task)?;
+            if !s.extra.is_finite() || s.extra < 0.0 {
+                return Err(SimError::BadDuration {
+                    task: task.name.clone(),
+                    duration: s.extra,
+                });
+            }
+            extra[s.task.0] += s.extra;
+        }
         let n = graph.len();
         let n_res = graph.resource_count();
         // Per-resource FIFO queues in issue order.
@@ -133,7 +177,7 @@ impl Engine {
             let Some((start, r, t)) = best else {
                 return Err(SimError::Deadlock { stuck: n - done });
             };
-            let dur = graph.tasks()[t].duration;
+            let dur = graph.tasks()[t].duration + extra[t];
             let end = start + dur;
             spans[t] = Span { start, end };
             finish[t] = Some(end);

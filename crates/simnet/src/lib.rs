@@ -46,7 +46,7 @@ mod task;
 mod testbed;
 
 pub use cost::{CostModel, OpCosts};
-pub use engine::{Engine, Span, Timeline};
+pub use engine::{Engine, Span, Straggler, Timeline};
 pub use error::SimError;
 pub use gantt::render_gantt;
 pub use task::{ResourceId, Task, TaskGraph, TaskId};

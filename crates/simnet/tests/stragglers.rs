@@ -1,0 +1,180 @@
+//! Straggler injection in the discrete-event engine: a delay on the
+//! critical path lengthens the makespan by *exactly* that delay; a delay
+//! inside another path's slack costs nothing. Exactness matters — the
+//! scheduler prices schedules off this engine, so fault what-ifs must be
+//! arithmetic, not approximate.
+
+use proptest::prelude::*;
+use simnet::{Engine, SimError, Straggler, TaskGraph, TaskId};
+
+/// The diamond from the engine unit tests: src → {left(2ms, 3ms slack),
+/// right(5ms, critical)} → sink. Makespan 7ms.
+fn diamond() -> (TaskGraph, TaskId, TaskId) {
+    let mut g = TaskGraph::new();
+    let r1 = g.add_resource("a");
+    let r2 = g.add_resource("b");
+    let src = g.add_task("src", r1, 1.0, &[]);
+    let left = g.add_task("left", r1, 2.0, &[src]);
+    let right = g.add_task("right", r2, 5.0, &[src]);
+    let _sink = g.add_task("sink", r1, 1.0, &[left, right]);
+    (g, left, right)
+}
+
+#[test]
+fn critical_path_delay_degrades_exactly() {
+    let (g, _, right) = diamond();
+    let base = Engine::new().simulate(&g).unwrap().makespan();
+    assert_eq!(base, 7.0);
+    for extra in [0.5, 1.5, 10.0] {
+        let tl = Engine::new()
+            .simulate_with_stragglers(&g, &[Straggler { task: right, extra }])
+            .unwrap();
+        assert_eq!(
+            tl.makespan(),
+            base + extra,
+            "critical-path straggler must cost exactly its delay"
+        );
+    }
+}
+
+#[test]
+fn off_critical_delay_within_slack_is_free() {
+    let (g, left, _) = diamond();
+    let base = Engine::new().simulate(&g).unwrap().makespan();
+    // left has 3 ms of slack (ends at 3, sink waits for right until 6)
+    for extra in [1.0, 2.5, 3.0] {
+        let tl = Engine::new()
+            .simulate_with_stragglers(&g, &[Straggler { task: left, extra }])
+            .unwrap();
+        assert_eq!(
+            tl.makespan(),
+            base,
+            "slack must absorb an off-critical straggler of {extra} ms"
+        );
+    }
+    // beyond the slack, only the excess shows up
+    let tl = Engine::new()
+        .simulate_with_stragglers(
+            &g,
+            &[Straggler {
+                task: left,
+                extra: 4.0,
+            }],
+        )
+        .unwrap();
+    assert_eq!(tl.makespan(), base + 1.0);
+}
+
+#[test]
+fn repeated_stragglers_accumulate() {
+    let (g, _, right) = diamond();
+    let tl = Engine::new()
+        .simulate_with_stragglers(
+            &g,
+            &[
+                Straggler {
+                    task: right,
+                    extra: 1.0,
+                },
+                Straggler {
+                    task: right,
+                    extra: 2.0,
+                },
+            ],
+        )
+        .unwrap();
+    assert_eq!(tl.makespan(), 10.0);
+}
+
+#[test]
+fn empty_straggler_list_matches_plain_simulate() {
+    let (g, _, _) = diamond();
+    let a = Engine::new().simulate(&g).unwrap();
+    let b = Engine::new().simulate_with_stragglers(&g, &[]).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn invalid_stragglers_are_rejected() {
+    let (g, left, _) = diamond();
+    let eng = Engine::new();
+    // TaskId fields are crate-private; mint an out-of-range id from a
+    // bigger graph (the diamond only has tasks 0..4).
+    let mut big = TaskGraph::new();
+    let r = big.add_resource("r");
+    let foreign = (0..5)
+        .map(|i| big.add_task(format!("t{i}"), r, 1.0, &[]))
+        .last()
+        .unwrap();
+    assert!(matches!(
+        eng.simulate_with_stragglers(
+            &g,
+            &[Straggler {
+                task: foreign,
+                extra: 1.0
+            }]
+        ),
+        Err(SimError::UnknownTask { id: 4 })
+    ));
+    for bad in [-1.0, f64::NAN, f64::INFINITY] {
+        assert!(matches!(
+            eng.simulate_with_stragglers(
+                &g,
+                &[Straggler {
+                    task: left,
+                    extra: bad
+                }]
+            ),
+            Err(SimError::BadDuration { .. })
+        ));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Monotonicity + boundedness: a straggler never speeds the schedule
+    /// up, and never costs more than its own delay.
+    #[test]
+    fn straggler_cost_is_bounded(
+        n_tasks in 2usize..16,
+        n_res in 1usize..4,
+        victim in 0usize..16,
+        extra_tenths in 0u64..50,
+        seed in any::<u64>(),
+    ) {
+        let victim = victim % n_tasks;
+        let extra = extra_tenths as f64 / 10.0;
+        let mut g = TaskGraph::new();
+        let res: Vec<_> = (0..n_res).map(|i| g.add_resource(format!("r{i}"))).collect();
+        let mut ids: Vec<TaskId> = Vec::new();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..n_tasks {
+            let r = res[(next() as usize) % n_res];
+            let dur = 0.5 + (next() % 40) as f64 / 10.0;
+            // up to two deps on earlier tasks
+            let deps: Vec<TaskId> = (0..(next() % 3))
+                .filter_map(|_| {
+                    if ids.is_empty() {
+                        None
+                    } else {
+                        Some(ids[(next() as usize) % ids.len()])
+                    }
+                })
+                .collect();
+            ids.push(g.add_task(format!("t{i}"), r, dur, &deps));
+        }
+        let base = Engine::new().simulate(&g).unwrap().makespan();
+        let tl = Engine::new()
+            .simulate_with_stragglers(&g, &[Straggler { task: ids[victim], extra }])
+            .unwrap();
+        prop_assert!(tl.makespan() >= base - 1e-9,
+            "straggler sped up the schedule: {} < {base}", tl.makespan());
+        prop_assert!(tl.makespan() <= base + extra + 1e-9,
+            "straggler cost more than its delay: {} > {base} + {extra}", tl.makespan());
+    }
+}

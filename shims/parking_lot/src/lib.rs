@@ -3,13 +3,15 @@
 //! The build environment has no access to the crates.io registry, so this
 //! crate adapts `std::sync::{Mutex, Condvar}` to parking_lot's
 //! poison-free API: `lock()` returns the guard directly and
-//! `Condvar::wait` takes the guard by `&mut`. Lock poisoning is converted
-//! into a panic on the *next* lock acquisition, matching parking_lot's
-//! effective behaviour for this workspace (a panicked rank thread already
-//! aborts the test).
+//! `Condvar::wait` takes the guard by `&mut`. Like real parking_lot,
+//! locks do **not** poison: a panic while holding the guard leaves the
+//! data accessible to other threads (callers that need panic detection
+//! layer their own flag on top, as the collectives crate does with its
+//! group poisoning).
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::time::Duration;
 
 /// A mutex whose `lock` returns the guard directly (no poison `Result`).
 pub struct Mutex<T: ?Sized> {
@@ -31,14 +33,16 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the mutex, blocking until it is available.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder panicked (std poisoning).
+    /// Acquires the mutex, blocking until it is available. Poison-free:
+    /// if a previous holder panicked, the data is handed over as-is,
+    /// matching parking_lot semantics.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: Some(self.inner.lock().expect("mutex poisoned")),
+            inner: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            ),
         }
     }
 }
@@ -91,7 +95,24 @@ impl Condvar {
     /// Atomically releases the guard's mutex and blocks until notified.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard present");
-        guard.inner = Some(self.inner.wait(inner).expect("mutex poisoned"));
+        guard.inner = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified or
+    /// `timeout` elapses. Returns `true` when the wait timed out (mirrors
+    /// parking_lot's `WaitTimeoutResult::timed_out`).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.inner = Some(inner);
+        result.timed_out()
     }
 
     /// Wakes one blocked waiter.
@@ -116,6 +137,48 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(0usize);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let timed_out = cv.wait_for(&mut g, Duration::from_millis(20));
+        assert!(timed_out);
+        assert_eq!(*g, 0);
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            // generous timeout: the helper thread signals promptly
+            cv.wait_for(&mut done, Duration::from_secs(5));
+        }
+        drop(done);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn lock_survives_holder_panic() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("die while holding");
+        });
+        assert!(t.join().is_err());
+        // parking_lot semantics: no poisoning, the data stays reachable
+        assert_eq!(*m.lock(), 7);
     }
 
     #[test]
