@@ -57,6 +57,19 @@ pub enum CommError {
         /// Global rank that poisoned the group.
         rank: usize,
     },
+    /// The caller's op is behind the group's op stream: peers gave up on
+    /// this exchange and moved past it, so the caller's deposit can never
+    /// rendezvous with the intended peers. Retrying cannot succeed — the
+    /// stream only advances; the caller must skip the op too
+    /// ([`crate::GroupComm::skip_op`]) or fail upward.
+    Abandoned {
+        /// Name of the collective.
+        op: &'static str,
+        /// The caller's op-stream position.
+        op_id: u64,
+        /// The group's (strictly greater) current round id.
+        stream_id: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -89,6 +102,14 @@ impl fmt::Display for CommError {
             CommError::Poisoned { rank } => {
                 write!(f, "group poisoned by rank {rank} dying mid-collective")
             }
+            CommError::Abandoned {
+                op,
+                op_id,
+                stream_id,
+            } => write!(
+                f,
+                "{op}: op {op_id} abandoned by peers (group op stream at {stream_id})"
+            ),
         }
     }
 }
@@ -124,6 +145,15 @@ mod tests {
         assert!(CommError::Poisoned { rank: 5 }
             .to_string()
             .contains("poisoned"));
+        let abandoned = CommError::Abandoned {
+            op: "all_to_all",
+            op_id: 3,
+            stream_id: 5,
+        };
+        assert!(abandoned.to_string().contains("all_to_all"));
+        assert!(abandoned.to_string().contains("abandoned"));
+        assert!(abandoned.to_string().contains("3"));
+        assert!(abandoned.to_string().contains("5"));
     }
 
     #[test]
@@ -137,6 +167,12 @@ mod tests {
             CommError::RankDown { rank: 1 },
             CommError::Poisoned { rank: 1 }
         );
+        let a = CommError::Abandoned {
+            op: "barrier",
+            op_id: 0,
+            stream_id: 1,
+        };
+        assert_eq!(a.clone(), a);
     }
 
     #[test]

@@ -5,7 +5,16 @@
 //! or declared dead) fail the collective with [`CommError::RankDown`]
 //! instead of hanging every peer, and a rank that panics mid-collective
 //! poisons the group so peers get [`CommError::Poisoned`] immediately.
+//!
+//! It is also *sequence-aware*: each rank carries a monotonic per-group
+//! op id (advanced on completion, or explicitly by
+//! [`GroupComm::skip_op`] when a caller abandons an exchange), and every
+//! rendezvous round is stamped with the id it belongs to. Deposits from
+//! different logical collectives therefore can never mix — a straggler
+//! arriving behind the stream gets [`CommError::Abandoned`] instead of
+//! cross-wiring its stale payload into a peer's *next* collective.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +66,9 @@ enum Phase {
 struct OpState {
     phase: Phase,
     tag: Option<OpTag>,
+    /// Op id of the current (or most recently opened) round. Monotone:
+    /// a round is only ever claimed by a rank whose op id is ≥ it.
+    round_id: u64,
     inputs: Vec<Option<Vec<f32>>>,
     outputs: Vec<Option<Vec<f32>>>,
     /// Set when a member panicked mid-collective (or violated SPMD);
@@ -71,6 +83,11 @@ pub(crate) struct GroupInner {
     state: Mutex<OpState>,
     cond: Condvar,
     ctrl: Arc<WorldCtrl>,
+    /// Per-member op-stream position (indexed by group index): how many
+    /// logical collectives the member has completed or skipped. Lives in
+    /// the shared inner so every handle a rank binds to the group sees
+    /// one consistent stream.
+    streams: Vec<AtomicU64>,
 }
 
 impl GroupInner {
@@ -81,12 +98,14 @@ impl GroupInner {
             state: Mutex::new(OpState {
                 phase: Phase::Collecting(0),
                 tag: None,
+                round_id: 0,
                 inputs: vec![None; n],
                 outputs: vec![None; n],
                 poisoned: None,
             }),
             cond: Condvar::new(),
             ctrl: Arc::clone(ctrl),
+            streams: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -181,6 +200,27 @@ impl GroupComm {
         self.deadline = deadline;
     }
 
+    /// Advances this rank's op stream past one logical collective
+    /// *without* running it.
+    ///
+    /// Callers that give up on an exchange (e.g. the degradation path in
+    /// `fsmoe::dist` after its retry budget) use this to declare the op
+    /// abandoned: peers still trying to run it observe the advanced
+    /// stream and fail fast with [`CommError::Abandoned`] instead of
+    /// rendezvousing their stale deposit with this rank's *next*
+    /// collective. Only call between collectives — never with a deposit
+    /// outstanding (the collectives' error paths guarantee this by
+    /// withdrawing before returning).
+    pub fn skip_op(&self) {
+        self.inner.streams[self.index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// This rank's position in the group's op stream: how many logical
+    /// collectives it has completed or skipped ([`GroupComm::skip_op`]).
+    pub fn op_stream_position(&self) -> u64 {
+        self.inner.streams[self.index].load(Ordering::Relaxed)
+    }
+
     /// Blocks on the condvar for one bounded step (never longer than the
     /// remaining deadline or the fault-poll interval).
     fn wait_step(&self, st: &mut MutexGuard<'_, OpState>, deadline: Option<Instant>) {
@@ -264,8 +304,10 @@ impl GroupComm {
     /// # Errors
     ///
     /// Returns [`CommError::RankDown`] when this rank or a peer is dead,
-    /// [`CommError::Timeout`] when the armed deadline expires, and
-    /// [`CommError::Poisoned`] when a member panicked mid-collective.
+    /// [`CommError::Timeout`] when the armed deadline expires,
+    /// [`CommError::Poisoned`] when a member panicked mid-collective, and
+    /// [`CommError::Abandoned`] when peers have already skipped past this
+    /// rank's op in the group's op stream.
     ///
     /// # Panics
     ///
@@ -324,6 +366,33 @@ impl GroupComm {
             self.wait_step(&mut st, deadline);
         }
 
+        // Op-stream check: deposits from different logical collectives
+        // must never mix. Behind the round → peers provably abandoned
+        // our op (the stream only advances) and no retry can succeed.
+        // Ahead of the round → the open round belongs to an op *we*
+        // already skipped; flush its stale deposits so their owners get
+        // `Abandoned` instead of cross-wiring into our exchange.
+        let my_id = self.inner.streams[self.index].load(Ordering::Relaxed);
+        if my_id < st.round_id {
+            return Err(CommError::Abandoned {
+                op,
+                op_id: my_id,
+                stream_id: st.round_id,
+            });
+        }
+        if my_id > st.round_id {
+            if st.tag.is_some() {
+                for slot in st.inputs.iter_mut() {
+                    *slot = None;
+                }
+                st.phase = Phase::Collecting(0);
+                st.tag = None;
+                self.inner.cond.notify_all();
+            }
+            st.round_id = my_id;
+        }
+
+        debug_assert_eq!(st.round_id, my_id, "round claimed at the caller's op id");
         match st.tag {
             None => st.tag = Some(tag),
             Some(t) if t == tag => {}
@@ -367,6 +436,17 @@ impl GroupComm {
                     self.withdraw(&mut st);
                     return Err(CommError::Poisoned { rank });
                 }
+                if st.round_id != my_id {
+                    // A peer that had already skipped our op flushed this
+                    // round (our deposit is gone) and claimed the group
+                    // for a later collective.
+                    self.withdraw(&mut st);
+                    return Err(CommError::Abandoned {
+                        op,
+                        op_id: my_id,
+                        stream_id: st.round_id,
+                    });
+                }
                 if !matches!(st.phase, Phase::Collecting(_)) {
                     break;
                 }
@@ -389,6 +469,8 @@ impl GroupComm {
             .take()
             .expect("output present in distribution phase");
         self.settle_drain(&mut st);
+        // The op completed for this rank: advance its stream position.
+        self.inner.streams[self.index].store(my_id + 1, Ordering::Relaxed);
         Ok(out)
     }
 

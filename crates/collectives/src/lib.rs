@@ -28,6 +28,11 @@
 //!   dead rank fail fast with [`CommError::RankDown`];
 //! * **panic poisoning** — a rank that panics mid-collective poisons the
 //!   group, and peers get [`CommError::Poisoned`];
+//! * **op-stream ids** — every rendezvous round is stamped with a
+//!   monotonic per-group op id ([`GroupComm::skip_op`] advances past an
+//!   abandoned exchange), so a degraded collective can never cross-wire
+//!   with a straggler's late deposit: behind-the-stream ranks get
+//!   [`CommError::Abandoned`] instead of silently mixed payloads;
 //! * **fault injection** ([`FaultInjector`], [`CommWorld::with_faults`])
 //!   — deterministic, seedable schedules of rank kills, straggler delays
 //!   and payload drops, so every collective can be attacked in tests.

@@ -21,7 +21,10 @@ const BUDGET: Duration = Duration::from_secs(10);
 fn fault_is_typed(err: &CommError) -> bool {
     matches!(
         err,
-        CommError::Timeout { .. } | CommError::RankDown { .. } | CommError::Poisoned { .. }
+        CommError::Timeout { .. }
+            | CommError::RankDown { .. }
+            | CommError::Poisoned { .. }
+            | CommError::Abandoned { .. }
     )
 }
 

@@ -126,6 +126,60 @@ fn timed_out_op_can_be_retried_with_same_payload() {
 }
 
 #[test]
+fn abandoned_op_fails_typed_instead_of_crosswiring() {
+    // Rank 1 straggles past rank 0's patience on op A (an AlltoAll);
+    // rank 0 gives up, skips the op, and issues its *next* collective B
+    // on the same group. Without op-stream ids, rank 1's late deposit
+    // for A would rendezvous with rank 0's B deposit — both tagged
+    // AllToAll-family — and both ranks would silently compute over mixed
+    // payloads. With ids, rank 1 gets `Abandoned`, skips A itself, and
+    // joins B for a correct exchange.
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(100))
+        .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(500)));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let g = comm.world_group();
+        if comm.rank() == 0 {
+            // Op A: one attempt, then abandon and move on.
+            let a = g.all_to_all(&[0.0, 1.0]);
+            assert!(matches!(a, Err(CommError::Timeout { .. })), "{a:?}");
+            g.skip_op();
+            assert_eq!(g.op_stream_position(), 1);
+            // Op B: retry until the straggler catches up and joins.
+            let mut attempts = 0;
+            loop {
+                let mut b = vec![1.0f32];
+                match g.all_reduce(&mut b) {
+                    Ok(()) => break Ok(b[0]),
+                    Err(CommError::Timeout { .. }) if attempts < 50 => attempts += 1,
+                    Err(e) => break Err(e),
+                }
+            }
+        } else {
+            // Wakes long after rank 0 abandoned op A and claimed op B.
+            let a = g.all_to_all(&[2.0, 3.0]);
+            match a {
+                Err(CommError::Abandoned {
+                    op,
+                    op_id,
+                    stream_id,
+                }) => {
+                    assert_eq!(op, "all_to_all");
+                    assert!(stream_id > op_id, "stream {stream_id} vs op {op_id}");
+                }
+                other => panic!("expected Abandoned, got {other:?}"),
+            }
+            g.skip_op();
+            let mut b = vec![2.0f32];
+            g.all_reduce(&mut b).map(|()| b[0])
+        }
+    });
+    // Op B completed consistently on both sides: 1 + 2.
+    assert_eq!(results[0], Ok(3.0));
+    assert_eq!(results[1], Ok(3.0));
+}
+
+#[test]
 fn payload_drop_zeroes_contribution() {
     let world = CommWorld::new(2).with_faults(FaultInjector::new().drop_payload(1, 0));
     let results = run_world(world, |comm| {

@@ -48,6 +48,28 @@ impl<'a> DispatchCtx<'a> {
             inter: None,
         }
     }
+
+    /// Advances every group in the context past one abandoned logical
+    /// exchange (see [`GroupComm::skip_op`]).
+    ///
+    /// The degradation path calls this after giving up on an AlltoAll so
+    /// this rank's *later* collectives on the same groups cannot
+    /// rendezvous with a straggler's stale deposit for the abandoned one.
+    /// For the flat algorithm this is exact (one skipped op on the EP
+    /// group). For the hierarchical algorithms it is conservative: a
+    /// sub-exchange that already completed before the failure is skipped
+    /// too, which surfaces on a later exchange as a typed
+    /// `CommError::Abandoned`/`Timeout` — a further degradation, never a
+    /// silent cross-wire.
+    pub fn skip_op(&self) {
+        self.ep_group.skip_op();
+        if let Some(g) = self.intra {
+            g.skip_op();
+        }
+        if let Some(g) = self.inter {
+            g.skip_op();
+        }
+    }
 }
 
 /// An AlltoAll algorithm.

@@ -42,8 +42,12 @@ use crate::{MoeError, Result};
 /// the exchange's tokens are dropped (zero-filled, the paper's
 /// capacity-drop semantics — dropped tokens ride the residual path) and
 /// the per-layer drop counter plus the
-/// [`MoeHooks::on_tokens_dropped`] hook record the loss. With
-/// `drop_on_failure` unset, the layer propagates the error instead.
+/// [`MoeHooks::on_tokens_dropped`] hook record the loss, and the
+/// abandoned exchange is skipped in the group's op stream
+/// ([`collectives::GroupComm::skip_op`]) so a straggler's late deposit
+/// for it fails with [`CommError::Abandoned`] instead of cross-wiring
+/// into this rank's next collective. With `drop_on_failure` unset, the
+/// layer propagates the error instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPolicy {
     /// How many times to re-enter a failed AlltoAll before giving up.
@@ -69,7 +73,7 @@ impl Default for FaultPolicy {
 /// structural errors (bad buffers, SPMD violations).
 fn recoverable(err: &CommError, self_rank: usize) -> bool {
     match err {
-        CommError::Timeout { .. } => true,
+        CommError::Timeout { .. } | CommError::Abandoned { .. } => true,
         CommError::RankDown { rank } => *rank != self_rank,
         _ => false,
     }
@@ -77,7 +81,9 @@ fn recoverable(err: &CommError, self_rank: usize) -> bool {
 
 /// Runs one AlltoAll under `policy`. `Ok(Some(out))` is a completed
 /// exchange; `Ok(None)` means the exchange was abandoned after retries
-/// and the caller must degrade (zero-fill).
+/// and the caller must degrade: zero-fill *and* advance the groups' op
+/// streams past the exchange ([`DispatchCtx::skip_op`]) so no later
+/// collective can rendezvous with a straggler's stale deposit for it.
 fn a2a_with_policy(
     dispatcher: &dyn Dispatcher,
     policy: FaultPolicy,
@@ -90,12 +96,16 @@ fn a2a_with_policy(
         match dispatcher.all_to_all(data, ctx) {
             Ok(out) => return Ok(Some(out)),
             Err(MoeError::Comm(e)) if recoverable(&e, self_rank) => {
-                if attempt < policy.max_retries {
+                // `Abandoned` can never succeed on retry: the peers' op
+                // stream has provably moved past this exchange.
+                let retryable = !matches!(e, CommError::Abandoned { .. });
+                if retryable && attempt < policy.max_retries {
                     attempt += 1;
                     std::thread::sleep(policy.backoff * attempt as u32);
                     continue;
                 }
                 if policy.drop_on_failure {
+                    ctx.skip_op();
                     return Ok(None);
                 }
                 return Err(MoeError::Comm(e));
@@ -357,7 +367,10 @@ impl DistMoeLayer {
 
         // AlltoAll dispatch over the EP group, with retry/degradation:
         // an unreachable peer drops this exchange's tokens (zero-fill)
-        // rather than failing the step.
+        // rather than failing the step. A degraded leg counts the routed
+        // assignments as dropped at most once per forward — losing the
+        // same tokens on both legs is still one loss.
+        let mut degraded = false;
         let dispatched = {
             let ctx = DispatchCtx::flat(&self.ep_group);
             a2a_with_policy(
@@ -371,6 +384,7 @@ impl DistMoeLayer {
         let received = match dispatched {
             Some(out) => out,
             None => {
+                degraded = true;
                 self.record_drop(routing.assignments().len());
                 vec![0.0f32; buffer.num_elements()]
             }
@@ -413,7 +427,9 @@ impl DistMoeLayer {
         let combined = match combine {
             Some(out) => out,
             None => {
-                self.record_drop(routing.assignments().len());
+                if !degraded {
+                    self.record_drop(routing.assignments().len());
+                }
                 vec![0.0f32; reduced.len()]
             }
         };

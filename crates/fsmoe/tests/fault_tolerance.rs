@@ -92,7 +92,9 @@ fn dead_peer_degrades_survivor_and_errors_the_dead_rank() {
     assert_eq!(*dead_drops, 0, "a dead rank drops nothing — it is gone");
 
     // The survivor completes the step: both AlltoAll legs degraded, its
-    // routed tokens were zero-filled, and the accounting saw both drops.
+    // routed tokens were zero-filled, and the accounting counted the
+    // routed assignments exactly once — losing the same tokens on both
+    // legs is still one loss.
     let (alive_out, alive_drops) = &results[0];
     let out = alive_out.as_ref().expect("survivor must complete");
     assert_eq!(out.dims(), &[cfg.tokens(), cfg.embed_dim]);
@@ -102,11 +104,10 @@ fn dead_peer_degrades_survivor_and_errors_the_dead_rank() {
     );
     let routed = cfg.tokens(); // top-1, no-drop: every token is assigned
     assert_eq!(
-        *alive_drops,
-        2 * routed,
-        "dispatch and combine legs each drop the routed tokens"
+        *alive_drops, routed,
+        "routed assignments are counted once per degraded forward"
     );
-    assert_eq!(hook_drops.load(Ordering::SeqCst), 2 * routed);
+    assert_eq!(hook_drops.load(Ordering::SeqCst), routed);
 }
 
 #[test]
@@ -138,6 +139,82 @@ fn strict_policy_propagates_instead_of_dropping() {
             "rank {rank}: {err:?}"
         );
         assert_eq!(*drops, 0, "strict policy never drops");
+    }
+}
+
+#[test]
+fn straggler_beyond_retry_budget_degrades_then_realigns() {
+    // The cross-wiring scenario: rank 1 straggles on the dispatch
+    // AlltoAll for longer than rank 0's *entire* retry budget on both
+    // legs (deadline × (1 + retries) per leg), so rank 0 abandons the
+    // dispatch AND the combine and finishes the step before the
+    // straggler even deposits. The straggler's late dispatch deposit
+    // must then fail with a typed `Abandoned` — not rendezvous with a
+    // later exchange — and once both ranks realign, the next forward
+    // must be bit-identical to a fault-free run (the EP group's op
+    // stream carries no lasting skew).
+    let cfg = config();
+
+    // Fault-free reference world: capture both forwards' outputs.
+    let reference = run_world_within(CommWorld::new(2), BUDGET, |comm| {
+        let topo = two_rank_topology();
+        let cfg = config();
+        let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+        let x = input_block(&cfg, comm.rank());
+        let mut rng = TensorRng::seed_from(0);
+        let first = layer.forward(&x, &mut rng).unwrap();
+        let second = layer.forward(&x, &mut rng).unwrap();
+        (first, second)
+    });
+
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(100))
+        .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(1200)));
+    let results = run_world_within(world, BUDGET, move |comm| {
+        let topo = two_rank_topology();
+        let cfg = config();
+        let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+        layer.set_fault_policy(FaultPolicy {
+            max_retries: 1,
+            backoff: Duration::from_millis(5),
+            drop_on_failure: true,
+        });
+        let x = input_block(&cfg, comm.rank());
+        let mut rng = TensorRng::seed_from(0);
+        let first = layer.forward(&x, &mut rng).unwrap();
+        let drops_after_first = layer.dropped_tokens();
+        // Re-join the threads, then allow generous retries so the second
+        // forward's collectives complete despite residual skew.
+        barrier.wait();
+        layer.set_fault_policy(FaultPolicy {
+            max_retries: 30,
+            backoff: Duration::from_millis(5),
+            drop_on_failure: true,
+        });
+        let second = layer.forward(&x, &mut rng).unwrap();
+        (first, drops_after_first, second, layer.dropped_tokens())
+    });
+
+    let routed = cfg.tokens(); // top-1, no-drop: every token is assigned
+    for (rank, (first, drops_first, second, drops_total)) in results.iter().enumerate() {
+        assert!(
+            first.data().iter().all(|&v| v == 0.0),
+            "rank {rank}: the skewed step degrades to the zero fallback"
+        );
+        assert_eq!(
+            *drops_first, routed,
+            "rank {rank}: one degraded forward counts its routed tokens once"
+        );
+        assert_eq!(
+            *drops_total, routed,
+            "rank {rank}: the realigned second forward drops nothing"
+        );
+        assert_eq!(
+            second.data(),
+            reference[rank].1.data(),
+            "rank {rank}: post-skew forward must be bit-identical to fault-free"
+        );
     }
 }
 

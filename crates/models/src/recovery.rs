@@ -147,17 +147,24 @@ impl RecoveryDriver {
     /// Rolls back to the latest snapshot: weights, RNG stream, and step
     /// counter. Returns the step training resumes from.
     ///
+    /// With a checkpoint directory configured, recovery restores from
+    /// the on-disk copy (the restart path) when one exists, falling back
+    /// to the in-memory snapshot when it does not — e.g. a fault before
+    /// the first [`RecoveryDriver::step`] has persisted anything.
+    ///
     /// # Errors
     ///
-    /// Returns checkpoint I/O or validation errors when the on-disk
-    /// snapshot is unreadable or corrupt (in-memory recovery cannot
-    /// fail).
+    /// Returns checkpoint I/O or validation errors when an on-disk
+    /// snapshot exists but is unreadable or corrupt (in-memory recovery
+    /// cannot fail).
     pub fn recover(&mut self) -> Result<usize> {
         let checkpoint = match self.snapshot_path(self.snapshot.step) {
-            // Restore from disk when configured — the restart path. The
-            // atomic writer guarantees this file is never torn.
-            Some(path) => LayerCheckpoint::load(&path)?,
-            None => self.snapshot.checkpoint.clone(),
+            // Restore from disk when a persisted copy exists — the
+            // restart path. The atomic writer guarantees the file is
+            // never torn; a missing file means no snapshot has been
+            // persisted yet, so the in-memory one is the truth.
+            Some(path) if path.exists() => LayerCheckpoint::load(&path)?,
+            _ => self.snapshot.checkpoint.clone(),
         };
         if checkpoint != self.snapshot.checkpoint {
             return Err(MoeError::CorruptCheckpoint {

@@ -167,6 +167,31 @@ fn recovery_from_disk_checkpoints_is_bit_exact() {
 }
 
 #[test]
+fn recover_before_first_step_falls_back_to_memory() {
+    // A fault can land before the first step() has persisted anything:
+    // with a checkpoint directory configured but no file on disk yet,
+    // recovery must fall back to the in-memory snapshot instead of
+    // failing on a missing step-0.json.
+    let cfg = config();
+    let dir = std::env::temp_dir().join(format!("fsmoe-recovery-fresh-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let layer = gshard_with_hooks(&cfg, 23, Box::new(NoopHooks));
+    let initial = layer.checkpoint();
+    let mut driver = RecoveryDriver::new(layer, TensorRng::seed_from(1), INTERVAL)
+        .with_checkpoint_dir(dir.clone());
+    let resumed = driver.recover().unwrap();
+    assert_eq!(resumed, 0);
+    assert_eq!(driver.layer().checkpoint(), initial);
+    // Training proceeds normally afterwards (and now persists to disk).
+    driver.step(&step_input(&cfg, 0), LR).unwrap();
+    let on_disk = LayerCheckpoint::load(&dir.join("step-0.json")).unwrap();
+    assert_eq!(on_disk, initial);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn without_rng_rollback_the_stream_would_diverge() {
     // Sanity check on the test's own sharpness: consuming an extra draw
     // from the routing RNG (what a fault without rollback does) changes
