@@ -17,6 +17,14 @@ cargo build --release
 # failure. Kill the whole test run if it exceeds the budget.
 timeout --kill-after=30 900 cargo test -q
 
+echo "==> observability smoke: traced 2-rank training step"
+# One training iteration over a 2-rank DistMoeLayer with an injected
+# stall; the example writes a Chrome trace and self-validates it (span
+# nesting, retry counters, expert-load histogram) via the in-tree
+# checker, exiting non-zero on any miss.
+timeout --kill-after=30 120 \
+    cargo run --release -p models --example trace_training_step -- target/trace_smoke.json
+
 echo "==> chaos suite (single-threaded tensor backend)"
 TENSOR_THREADS=1 timeout --kill-after=30 300 \
     cargo test -q -p collectives --test chaos --test faults

@@ -88,6 +88,11 @@ pub(crate) struct GroupInner {
     /// the shared inner so every handle a rank binds to the group sees
     /// one consistent stream.
     streams: Vec<AtomicU64>,
+    /// Per-member marker of the last op-stream position *attempted*
+    /// (stored as position + 1, so 0 means "never"). Only maintained
+    /// while the obs registry is enabled; re-attempting a position is
+    /// what the `collectives.retries` counter measures.
+    attempts: Vec<AtomicU64>,
 }
 
 impl GroupInner {
@@ -106,6 +111,7 @@ impl GroupInner {
             cond: Condvar::new(),
             ctrl: Arc::clone(ctrl),
             streams: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            attempts: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -213,6 +219,7 @@ impl GroupComm {
     /// withdrawing before returning).
     pub fn skip_op(&self) {
         self.inner.streams[self.index].fetch_add(1, Ordering::Relaxed);
+        obs::counter_add(obs::names::COLLECTIVES_SKIPPED_OPS, 1);
     }
 
     /// This rank's position in the group's op stream: how many logical
@@ -298,6 +305,53 @@ impl GroupComm {
         }
     }
 
+    /// [`GroupComm::run_inner`] wrapped in observability: exactly one
+    /// success span per completed op (error and withdraw/retry paths
+    /// record *no* span), a `collectives.retries` increment whenever an
+    /// op-stream position is attempted again, and per-error-kind
+    /// counters. All of it melts to one atomic load when `obs` is
+    /// disabled.
+    fn run<F>(&self, tag: OpTag, input: Vec<f32>, compute: F) -> Result<Vec<f32>>
+    where
+        F: FnOnce(&[Vec<f32>]) -> Vec<Vec<f32>>,
+    {
+        if !obs::is_enabled() {
+            return self.run_inner(tag, input, compute);
+        }
+        let pos = self.op_stream_position();
+        let marker = self.inner.attempts[self.index].swap(pos + 1, Ordering::Relaxed);
+        if marker == pos + 1 {
+            obs::counter_add(obs::names::COLLECTIVES_RETRIES, 1);
+        }
+        let bytes = input.len() * std::mem::size_of::<f32>();
+        let span = obs::deferred_span("collectives", tag.name());
+        match self.run_inner(tag, input, compute) {
+            Ok(out) => {
+                let mut span = span;
+                span.attr("rank", self.global_rank);
+                span.attr("group", format_args!("{:?}", self.inner.ranks));
+                span.attr("op_id", pos);
+                span.attr("bytes", bytes);
+                span.commit();
+                Ok(out)
+            }
+            Err(err) => {
+                span.cancel();
+                let counter = match &err {
+                    CommError::Timeout { .. } => Some(obs::names::COLLECTIVES_TIMEOUTS),
+                    CommError::Abandoned { .. } => Some(obs::names::COLLECTIVES_ABANDONED),
+                    CommError::Poisoned { .. } => Some(obs::names::COLLECTIVES_POISONED),
+                    CommError::RankDown { .. } => Some(obs::names::COLLECTIVES_RANK_DOWN),
+                    _ => None,
+                };
+                if let Some(name) = counter {
+                    obs::counter_add(name, 1);
+                }
+                Err(err)
+            }
+        }
+    }
+
     /// The core rendezvous: deposit `input`, wait for all members, let the
     /// last arrival compute all outputs with `compute`, then take ours.
     ///
@@ -314,7 +368,7 @@ impl GroupComm {
     /// Panics when members concurrently issue different collectives on the
     /// same group (an SPMD violation); the group is poisoned first so
     /// peers error out rather than deadlock.
-    fn run<F>(&self, tag: OpTag, mut input: Vec<f32>, compute: F) -> Result<Vec<f32>>
+    fn run_inner<F>(&self, tag: OpTag, mut input: Vec<f32>, compute: F) -> Result<Vec<f32>>
     where
         F: FnOnce(&[Vec<f32>]) -> Vec<Vec<f32>>,
     {
@@ -325,7 +379,11 @@ impl GroupComm {
             });
         }
         if let Some(injector) = ctrl.injector() {
-            match injector.on_collective(self.global_rank) {
+            let action = injector.on_collective(self.global_rank);
+            if action.is_some() {
+                obs::counter_add(obs::names::COLLECTIVES_FAULTS_INJECTED, 1);
+            }
+            match action {
                 Some(FaultAction::Kill) => {
                     ctrl.mark_dead(self.global_rank);
                     self.inner.cond.notify_all();

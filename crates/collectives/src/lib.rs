@@ -109,7 +109,12 @@ where
         .into_iter()
         .map(|comm| {
             let f = std::sync::Arc::clone(&f);
-            std::thread::spawn(move || f(comm))
+            std::thread::spawn(move || {
+                if obs::is_enabled() {
+                    obs::set_thread_name(&format!("rank {}", comm.rank()));
+                }
+                f(comm)
+            })
         })
         .collect();
     handles
@@ -141,6 +146,9 @@ where
         let tx = tx.clone();
         std::thread::spawn(move || {
             let rank = comm.rank();
+            if obs::is_enabled() {
+                obs::set_thread_name(&format!("rank {rank}"));
+            }
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
             let _ = tx.send((rank, result));
         });

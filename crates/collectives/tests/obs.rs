@@ -1,0 +1,130 @@
+//! Observability regression tests for the collective runtime.
+//!
+//! The withdraw/retry path must not distort the trace: a retried-then-
+//! successful op records **exactly one** success span per rank, with
+//! every failed attempt showing up as counters (`collectives.retries`,
+//! `collectives.timeouts`) instead of phantom spans.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use collectives::{run_world, CommError, CommWorld, FaultInjector};
+
+#[test]
+fn retried_op_records_one_span_and_counts_each_retry() {
+    let session = obs::session();
+
+    let straggle = Duration::from_millis(250);
+    let retries_seen = Arc::new(AtomicUsize::new(0));
+    let retries_in_loop = Arc::clone(&retries_seen);
+    let world = CommWorld::new(2).with_deadline(Duration::from_millis(50));
+    run_world(world, move |comm| {
+        let mut group = comm.world_group();
+        if comm.rank() == 1 {
+            // The straggler: arrive late, but allow a generous deadline
+            // so its own (single) attempt cannot time out while rank 0
+            // is between retries.
+            std::thread::sleep(straggle);
+            group.set_deadline(Some(Duration::from_secs(5)));
+            let mut x = vec![1.0f32];
+            group.all_reduce(&mut x).unwrap();
+            return;
+        }
+        let mut attempts = 0usize;
+        loop {
+            let mut x = vec![1.0f32];
+            match group.all_reduce(&mut x) {
+                Ok(()) => break,
+                Err(CommError::Timeout { .. }) => attempts += 1,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        retries_in_loop.store(attempts, Ordering::SeqCst);
+    });
+
+    let failed_attempts = retries_seen.load(Ordering::SeqCst);
+    assert!(
+        failed_attempts >= 1,
+        "a 250 ms straggle against a 50 ms deadline must force at least one retry"
+    );
+
+    let snap = session.snapshot();
+    let spans = snap.spans_named("all_reduce");
+    assert_eq!(
+        spans.len(),
+        2,
+        "exactly one success span per rank — no phantom spans from withdrawn attempts"
+    );
+    for span in &spans {
+        assert!(
+            span.attrs.iter().any(|(k, v)| *k == "op_id" && v == "0"),
+            "both success spans belong to op 0: {:?}",
+            span.attrs
+        );
+        assert!(
+            span.attrs.iter().any(|(k, v)| *k == "bytes" && v == "4"),
+            "payload size recorded: {:?}",
+            span.attrs
+        );
+    }
+    assert_eq!(
+        snap.counter(obs::names::COLLECTIVES_RETRIES),
+        failed_attempts as u64,
+        "every re-attempt of the same op-stream position counts once"
+    );
+    assert_eq!(
+        snap.counter(obs::names::COLLECTIVES_TIMEOUTS),
+        failed_attempts as u64,
+        "every failed attempt shows up as a timeout"
+    );
+    // both rank threads were named for the trace
+    let names: Vec<&str> = snap.threads.values().map(String::as_str).collect();
+    assert!(
+        names.contains(&"rank 0") && names.contains(&"rank 1"),
+        "{names:?}"
+    );
+}
+
+#[test]
+fn injected_kill_counts_fault_and_rank_down_without_a_span() {
+    let session = obs::session();
+
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(200))
+        .with_faults(FaultInjector::new().kill(1, 0));
+    run_world(world, |comm| {
+        let group = comm.world_group();
+        let mut x = vec![comm.rank() as f32];
+        // Rank 1 dies on entry; rank 0 observes the dead peer. Neither
+        // completes, so neither records a span.
+        let _ = group.all_reduce(&mut x);
+    });
+
+    let snap = session.snapshot();
+    assert!(
+        snap.spans_named("all_reduce").is_empty(),
+        "no success, no span"
+    );
+    assert_eq!(snap.counter(obs::names::COLLECTIVES_FAULTS_INJECTED), 1);
+    assert_eq!(
+        snap.counter(obs::names::COLLECTIVES_RANK_DOWN),
+        2,
+        "the killed rank and the surviving peer each fail with RankDown"
+    );
+}
+
+#[test]
+fn skip_op_is_counted() {
+    let session = obs::session();
+    let world = CommWorld::new(1);
+    run_world(world, |comm| {
+        comm.world_group().skip_op();
+    });
+    assert_eq!(
+        session
+            .snapshot()
+            .counter(obs::names::COLLECTIVES_SKIPPED_OPS),
+        1
+    );
+}

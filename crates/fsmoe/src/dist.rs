@@ -314,8 +314,16 @@ impl DistMoeLayer {
 
     /// Records a degraded exchange: `count` token assignments fell back
     /// to the residual path.
+    ///
+    /// This is the **single write path** for drop accounting: the
+    /// per-layer counter, the process-wide obs counters
+    /// (`moe.dropped_tokens` / `moe.drop_events`) and the
+    /// [`MoeHooks::on_tokens_dropped`] notification all fan out from
+    /// here, so no two views of the account can diverge.
     fn record_drop(&mut self, count: usize) {
         self.dropped_tokens += count;
+        obs::counter_add(obs::names::MOE_DROPPED_TOKENS, count as u64);
+        obs::counter_add(obs::names::MOE_DROP_EVENTS, 1);
         self.hooks.on_tokens_dropped(count);
     }
 
@@ -360,9 +368,19 @@ impl DistMoeLayer {
                 actual: input.dims().to_vec(),
             });
         }
+        let mut fwd_span = obs::span("fsmoe", "moe.forward");
+        fwd_span.attr("rank", self.rank);
         let m = self.config.embed_dim;
         let t = self.config.capacity();
-        let routing = self.gate.route(input, t, rng)?;
+        let routing = {
+            let _s = obs::span("fsmoe", "gate");
+            self.gate.route(input, t, rng)?
+        };
+        if obs::is_enabled() {
+            for &load in &routing.expert_loads() {
+                obs::record_hist(obs::names::MOE_EXPERT_LOAD, load as f64);
+            }
+        }
         let buffer = self.order.order(input, &routing)?; // (E·T, M)
 
         // AlltoAll dispatch over the EP group, with retry/degradation:
@@ -371,6 +389,7 @@ impl DistMoeLayer {
         // assignments as dropped at most once per forward — losing the
         // same tokens on both legs is still one loss.
         let mut degraded = false;
+        let dispatch_span = obs::span("fsmoe", "dispatch");
         let dispatched = {
             let ctx = DispatchCtx::flat(&self.ep_group);
             a2a_with_policy(
@@ -392,6 +411,7 @@ impl DistMoeLayer {
 
         // ESP-AllGather: replicate the node's token set to all shards.
         let gathered = self.esp_group.all_gather(&received)?;
+        drop(dispatch_span);
         let gathered_rows = gathered.len() / m;
 
         // Expert shard computation: local shards are independent, so
@@ -399,6 +419,7 @@ impl DistMoeLayer {
         let mut shard_out = vec![0.0f32; gathered.len()];
         let layout = self.shard_layout();
         let shards = &self.shards;
+        let compute_span = obs::span("fsmoe", "expert_compute");
         let results = for_each_expert(self.experts_per_ep, tensor::par::num_threads(), |el| {
             let x = gather_expert_rows(layout, &gathered, el);
             shards[el].forward(&x)
@@ -408,7 +429,9 @@ impl DistMoeLayer {
             scatter_expert_rows(layout, &mut shard_out, el, &y);
             shard_states.push(st);
         }
+        drop(compute_span);
 
+        let combine_span = obs::span("fsmoe", "combine");
         // ESP-ReduceScatter: sum shard partials, return our token slice.
         let reduced = self.esp_group.reduce_scatter(&shard_out)?;
 
@@ -436,6 +459,7 @@ impl DistMoeLayer {
         let expert_out = Tensor::from_vec(combined, &[self.config.num_experts * t, m])?;
 
         let output = self.order.inverse(&expert_out, &routing)?;
+        drop(combine_span);
         self.state = Some(DistState {
             routing,
             shard_states,
@@ -458,6 +482,8 @@ impl DistMoeLayer {
     /// Returns [`MoeError::NoForwardState`] before any forward, and
     /// propagates collective faults ([`MoeError::Comm`]).
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<DistMoeGrads> {
+        let mut bwd_span = obs::span("fsmoe", "moe.backward");
+        bwd_span.attr("rank", self.rank);
         let state = self.state.as_ref().ok_or(MoeError::NoForwardState)?;
         let m = self.config.embed_dim;
         let routing = &state.routing;

@@ -96,20 +96,39 @@ pub struct NoopHooks;
 
 impl MoeHooks for NoopHooks {}
 
-/// A statistics hook that accumulates degradation drops reported via
-/// [`MoeHooks::on_tokens_dropped`].
+/// A statistics hook exposing degradation drops — a thin **read**
+/// adapter over the process-wide `obs` counters.
+///
+/// The layer is the single writer: `DistMoeLayer` records every drop
+/// into [`obs::names::MOE_DROPPED_TOKENS`] / [`obs::names::MOE_DROP_EVENTS`]
+/// *before* invoking [`MoeHooks::on_tokens_dropped`], and this adapter
+/// only reads those counters back — so the hook's view and the registry
+/// can never diverge (they are the same account). Requires an enabled
+/// `obs` session ([`obs::session`]); with the registry disabled the
+/// counters stay 0 and the per-layer `DistMoeLayer::dropped_tokens`
+/// field remains the local source of truth.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct DropCounterHooks {
-    /// Total token assignments dropped so far.
-    pub dropped: usize,
-    /// Number of drop events (failed collectives), regardless of size.
-    pub events: usize,
+pub struct DropCounterHooks;
+
+impl DropCounterHooks {
+    /// Total token assignments dropped process-wide (all layers).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        obs::counter_value(obs::names::MOE_DROPPED_TOKENS)
+    }
+
+    /// Drop events (degraded forwards) process-wide, regardless of size.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        obs::counter_value(obs::names::MOE_DROP_EVENTS)
+    }
 }
 
 impl MoeHooks for DropCounterHooks {
-    fn on_tokens_dropped(&mut self, count: usize) {
-        self.dropped += count;
-        self.events += 1;
+    fn on_tokens_dropped(&mut self, _count: usize) {
+        // Intentionally empty: the layer already recorded this drop into
+        // the obs counters this adapter reads. Counting here again would
+        // re-create the double-accounting this type exists to prevent.
     }
 }
 
@@ -175,12 +194,19 @@ mod tests {
     }
 
     #[test]
-    fn drop_counter_accumulates() {
-        let mut h = DropCounterHooks::default();
+    fn drop_counter_reads_the_obs_account() {
+        let _session = obs::session();
+        let mut h = DropCounterHooks;
+        // The layer is the writer; the hook notification itself must not
+        // count (that would double-account against the obs registry).
         h.on_tokens_dropped(3);
-        h.on_tokens_dropped(5);
-        assert_eq!(h.dropped, 8);
-        assert_eq!(h.events, 2);
+        assert_eq!(h.dropped(), 0);
+        assert_eq!(h.events(), 0);
+        // What the layer records is exactly what the adapter reads.
+        obs::counter_add(obs::names::MOE_DROPPED_TOKENS, 8);
+        obs::counter_add(obs::names::MOE_DROP_EVENTS, 2);
+        assert_eq!(h.dropped(), 8);
+        assert_eq!(h.events(), 2);
         // default impl is a no-op on other hooks
         let mut t = Tensor::from_vec(vec![1.0], &[1]).unwrap();
         h.before_moe_end(&mut t).unwrap();

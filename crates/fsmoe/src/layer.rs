@@ -220,14 +220,25 @@ impl MoeLayer {
                 actual: input.dims().to_vec(),
             });
         }
+        let _fwd_span = obs::span("fsmoe", "moe.forward");
         let mut input = input.clone();
         self.hooks.before_moe_start(&mut input)?;
 
-        let routing = self.gate.route(&input, self.config.capacity(), rng)?;
+        let routing = {
+            let _s = obs::span("fsmoe", "gate");
+            self.gate.route(&input, self.config.capacity(), rng)?
+        };
+        if obs::is_enabled() {
+            for &load in &routing.expert_loads() {
+                obs::record_hist(obs::names::MOE_EXPERT_LOAD, load as f64);
+            }
+        }
+        let dispatch_span = obs::span("fsmoe", "dispatch");
         let mut buffer = self.order.order(&input, &routing)?;
         self.hooks.before_dispatch(&mut buffer, &routing)?;
         // single-process: dispatch is the identity (all experts local)
         self.hooks.after_dispatch(&mut buffer, &routing)?;
+        drop(dispatch_span);
 
         let t = routing.capacity();
         let m = self.config.embed_dim;
@@ -235,6 +246,7 @@ impl MoeLayer {
         // independent experts fan out over scoped threads (serial when
         // only one worker is available)
         let experts = &self.experts;
+        let compute_span = obs::span("fsmoe", "expert_compute");
         let results = for_each_expert(experts.len(), tensor::par::num_threads(), |e| {
             let slice = buffer.slice_rows(e * t, (e + 1) * t)?;
             experts[e].forward(&slice)
@@ -244,11 +256,14 @@ impl MoeLayer {
             expert_out.data_mut()[e * t * m..(e + 1) * t * m].copy_from_slice(y.data());
             expert_states.push(st);
         }
+        drop(compute_span);
 
+        let combine_span = obs::span("fsmoe", "combine");
         self.hooks.before_combine(&mut expert_out, &routing)?;
         self.hooks.after_combine(&mut expert_out, &routing)?;
         let mut output = self.order.inverse(&expert_out, &routing)?;
         self.hooks.before_moe_end(&mut output)?;
+        drop(combine_span);
 
         self.state = Some(ForwardState {
             routing,
@@ -264,6 +279,7 @@ impl MoeLayer {
     /// Returns [`MoeError::NoForwardState`] before any forward, or shape
     /// errors when `grad_output` disagrees with the forward output.
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<MoeGrads> {
+        let _bwd_span = obs::span("fsmoe", "moe.backward");
         let state = self.state.as_ref().ok_or(MoeError::NoForwardState)?;
         let routing = &state.routing;
         let grad_buffer = combine_backward(grad_output, routing)?;

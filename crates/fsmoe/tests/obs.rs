@@ -1,0 +1,164 @@
+//! Observability integration for the MoE layers: the unified drop
+//! account (layer field == obs counter == hook adapter), the per-expert
+//! load histogram, and the forward span taxonomy.
+
+use std::time::Duration;
+
+use collectives::{run_world_within, CommWorld, FaultInjector, HybridTopology, ParallelDims};
+use fsmoe::config::MoeConfig;
+use fsmoe::dist::DistMoeLayer;
+use fsmoe::hooks::DropCounterHooks;
+use fsmoe::layer::MoeLayer;
+use tensor::{Tensor, TensorRng};
+
+const SEED: u64 = 77;
+const BUDGET: Duration = Duration::from_secs(30);
+
+fn two_rank_topology() -> HybridTopology {
+    HybridTopology::new(
+        1,
+        2,
+        ParallelDims {
+            dp: 2,
+            mp: 1,
+            ep: 2,
+            esp: 1,
+        },
+    )
+    .unwrap()
+}
+
+fn config() -> MoeConfig {
+    MoeConfig::builder()
+        .batch_size(1)
+        .seq_len(6)
+        .embed_dim(8)
+        .hidden_dim(16)
+        .num_experts(2)
+        .top_k(1)
+        .no_drop()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn drop_account_is_unified_across_layer_obs_and_hook() {
+    let session = obs::session();
+    let cfg = config();
+    // Rank 1 dies entering its first collective; the survivor degrades
+    // both AlltoAll legs and counts its routed assignments exactly once.
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(400))
+        .with_faults(FaultInjector::new().kill(1, 0));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let topo = two_rank_topology();
+        let cfg = config();
+        let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+        layer.set_hooks(Box::new(DropCounterHooks));
+        let mut rng = TensorRng::seed_from(4000 + comm.rank() as u64);
+        let x = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
+        let mut route_rng = TensorRng::seed_from(0);
+        let _ = layer.forward(&x, &mut route_rng);
+        layer.dropped_tokens()
+    });
+
+    let per_layer_total: usize = results.iter().sum();
+    assert_eq!(
+        per_layer_total,
+        cfg.tokens(),
+        "only the survivor drops, and only once"
+    );
+    let snap = session.snapshot();
+    assert_eq!(
+        snap.counter(obs::names::MOE_DROPPED_TOKENS),
+        per_layer_total as u64,
+        "the obs counter and the per-layer fields are one account"
+    );
+    assert_eq!(snap.counter(obs::names::MOE_DROP_EVENTS), 1);
+    // The hook adapter reads the same account (counter reads work after
+    // the session guard is still alive, so the registry is this run's).
+    let hooks = DropCounterHooks;
+    assert_eq!(hooks.dropped(), per_layer_total as u64);
+    assert_eq!(hooks.events(), 1);
+    // Fault bookkeeping made it into the same snapshot.
+    assert_eq!(snap.counter(obs::names::COLLECTIVES_FAULTS_INJECTED), 1);
+    assert!(snap.counter(obs::names::COLLECTIVES_SKIPPED_OPS) >= 1);
+}
+
+#[test]
+fn fault_free_distributed_forward_traces_spans_and_load_histogram() {
+    let session = obs::session();
+    let cfg = config();
+    run_world_within(CommWorld::new(2), BUDGET, |comm| {
+        let topo = two_rank_topology();
+        let cfg = config();
+        let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+        let mut rng = TensorRng::seed_from(4000 + comm.rank() as u64);
+        let x = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
+        let mut route_rng = TensorRng::seed_from(0);
+        layer.forward(&x, &mut route_rng).unwrap();
+    });
+
+    let snap = session.snapshot();
+    // one span per rank for each forward phase
+    for name in [
+        "moe.forward",
+        "gate",
+        "dispatch",
+        "expert_compute",
+        "combine",
+    ] {
+        assert_eq!(snap.spans_named(name).len(), 2, "two ranks ran {name}");
+    }
+    // phases nest inside their rank's moe.forward
+    for outer in snap.spans_named("moe.forward") {
+        let end = outer.start_us + outer.dur_us;
+        for inner in snap.spans_named("expert_compute") {
+            if inner.tid == outer.tid {
+                assert!(inner.start_us >= outer.start_us && inner.start_us + inner.dur_us <= end);
+            }
+        }
+    }
+    // each rank's gate scored every expert once
+    let hist = snap
+        .histogram(obs::names::MOE_EXPERT_LOAD)
+        .expect("per-expert load histogram recorded");
+    assert_eq!(hist.count, (2 * cfg.num_experts) as u64);
+    assert_eq!(
+        hist.sum as usize,
+        2 * cfg.tokens(),
+        "top-1 no-drop routing assigns every token exactly once per rank"
+    );
+    // collectives spans carry payload attributes and sit under fsmoe spans
+    let a2a = snap.spans_named("all_to_all");
+    assert_eq!(a2a.len(), 4, "dispatch + combine on each of two ranks");
+    for span in a2a {
+        assert!(span.attrs.iter().any(|(k, _)| *k == "bytes"));
+    }
+    assert!(snap.counter(obs::names::MOE_DROPPED_TOKENS) == 0);
+}
+
+#[test]
+fn single_process_layer_traces_the_same_taxonomy() {
+    let session = obs::session();
+    let cfg = config();
+    let mut rng = TensorRng::seed_from(1);
+    let mut layer = MoeLayer::gshard(&cfg, &mut rng).unwrap();
+    let input = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
+    let out = layer.forward(&input, &mut rng).unwrap();
+    layer.backward(&Tensor::ones(out.dims())).unwrap();
+
+    let snap = session.snapshot();
+    for name in [
+        "moe.forward",
+        "gate",
+        "dispatch",
+        "expert_compute",
+        "combine",
+        "moe.backward",
+    ] {
+        assert_eq!(snap.spans_named(name).len(), 1, "{name}");
+    }
+    let hist = snap.histogram(obs::names::MOE_EXPERT_LOAD).unwrap();
+    assert_eq!(hist.count, cfg.num_experts as u64);
+}

@@ -187,6 +187,8 @@ impl MoeTransformer {
     ///
     /// Propagates block errors.
     pub fn forward(&mut self, x: &Tensor, rng: &mut TensorRng) -> Result<Tensor> {
+        let mut fwd_span = obs::span("models", "model.forward");
+        fwd_span.attr("blocks", self.blocks.len());
         let mut h = x.clone();
         for block in &mut self.blocks {
             h = block.forward(&h, rng)?;
@@ -207,15 +209,20 @@ impl MoeTransformer {
         lr: f32,
         rng: &mut TensorRng,
     ) -> Result<f32> {
+        let mut step_span = obs::span("models", "train_step");
         let y = self.forward(x, rng)?;
         let err = y.sub(target)?;
         let loss = err.map(|v| v * v).mean();
         let mut grad = err.scale(2.0 / y.num_elements() as f32);
-        for block in self.blocks.iter_mut().rev() {
-            let grads = block.backward(&grad)?;
-            grad = grads.input.clone();
-            block.apply_grads(&grads, lr)?;
+        {
+            let _bwd = obs::span("models", "model.backward");
+            for block in self.blocks.iter_mut().rev() {
+                let grads = block.backward(&grad)?;
+                grad = grads.input.clone();
+                block.apply_grads(&grads, lr)?;
+            }
         }
+        step_span.attr("loss", loss);
         Ok(loss)
     }
 }

@@ -88,6 +88,24 @@ impl ModelPreset {
         }
     }
 
+    /// A CPU-sized shape for smoke tests and trace demos: the same
+    /// structure as the real presets, small enough that a multi-rank
+    /// training iteration finishes in milliseconds.
+    pub fn smoke() -> Self {
+        ModelPreset {
+            name: "Smoke".into(),
+            embed_dim: 16,
+            hidden_dim: 32,
+            heads: 2,
+            layers: 1,
+            ffn: FfnKind::Gpt,
+            batch_size: 1,
+            seq_len: 8,
+            top_k: 1,
+            capacity_factor: 2.0,
+        }
+    }
+
     /// Overrides the layer count (the paper trims models per testbed).
     pub fn with_layers(mut self, layers: usize) -> Self {
         self.layers = layers;
@@ -124,13 +142,24 @@ impl ModelPreset {
     ///
     /// Propagates configuration validation errors.
     pub fn moe_config(&self, testbed: &Testbed) -> fsmoe::Result<MoeConfig> {
+        self.moe_config_for(testbed.nodes)
+    }
+
+    /// The per-layer MoE configuration for an arbitrary expert count —
+    /// the CPU smoke-test path (the testbed variant pins experts to
+    /// nodes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn moe_config_for(&self, num_experts: usize) -> fsmoe::Result<MoeConfig> {
         MoeConfig::builder()
             .batch_size(self.batch_size)
             .seq_len(self.seq_len)
             .embed_dim(self.embed_dim)
             .hidden_dim(self.hidden_dim)
-            .num_experts(testbed.nodes)
-            .top_k(self.top_k.min(testbed.nodes))
+            .num_experts(num_experts)
+            .top_k(self.top_k.min(num_experts))
             .capacity_factor(self.capacity_factor)
             .ffn(self.ffn)
             .build()

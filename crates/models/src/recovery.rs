@@ -110,6 +110,8 @@ impl RecoveryDriver {
     }
 
     fn take_snapshot(&mut self) -> Result<()> {
+        let mut snap_span = obs::span("models", "snapshot");
+        snap_span.attr("step", self.step);
         let checkpoint = self.layer.checkpoint();
         if let Some(path) = self.snapshot_path(self.step) {
             checkpoint.save(&path)?;
@@ -134,6 +136,8 @@ impl RecoveryDriver {
     /// Propagates layer failures (shape errors, collective faults,
     /// checkpoint I/O).
     pub fn step(&mut self, input: &Tensor, lr: f32) -> Result<Tensor> {
+        let mut step_span = obs::span("models", "train_step");
+        step_span.attr("step", self.step);
         if self.step.is_multiple_of(self.interval) {
             self.take_snapshot()?;
         }
@@ -158,6 +162,8 @@ impl RecoveryDriver {
     /// snapshot exists but is unreadable or corrupt (in-memory recovery
     /// cannot fail).
     pub fn recover(&mut self) -> Result<usize> {
+        let mut recover_span = obs::span("models", "recover");
+        recover_span.attr("to_step", self.snapshot.step);
         let checkpoint = match self.snapshot_path(self.snapshot.step) {
             // Restore from disk when a persisted copy exists — the
             // restart path. The atomic writer guarantees the file is

@@ -1,0 +1,626 @@
+//! Process-wide observability: spans, counters, histograms, gauges.
+//!
+//! The paper's analysis (§3.2, §5) is built on *seeing* where iteration
+//! time goes — per-task timings feed the α–β cost models and the Fig. 7/8
+//! breakdowns. This crate is the reproduction's measurement substrate: a
+//! global, thread-safe registry of
+//!
+//! * **spans** — named, nested, per-thread timed regions with `key=value`
+//!   attributes ([`span`], [`deferred_span`]);
+//! * **counters** — monotonic `u64` event counts ([`counter_add`]);
+//! * **histograms** — fixed power-of-two-bucket distributions
+//!   ([`record_hist`]);
+//! * **gauges** — last-write-wins `f64` observations ([`set_gauge`]);
+//!
+//! with two exporters: a Chrome trace-event JSON document
+//! ([`Snapshot::chrome_trace`], loadable in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev)) and a plain-text metrics dump
+//! ([`Snapshot::metrics_text`]). [`validate_trace`] is the in-tree
+//! checker CI uses on emitted traces.
+//!
+//! # Cost model
+//!
+//! Recording is **opt-in**. The registry starts disabled, and every
+//! record call begins with one relaxed atomic load and a branch — when
+//! disabled, no locks are taken, no strings are formatted, and nothing
+//! allocates (the bench guard in `crates/bench/benches/obs.rs` holds
+//! this below 2% of the expert-compute hot path). Code that must build
+//! an attribute value eagerly should gate on [`is_enabled`].
+//!
+//! # Sessions
+//!
+//! The registry is process-global, so concurrent tests that assert on
+//! exact counts must serialise. [`session`] packages the discipline:
+//! take the session lock, [`reset`] the registry, enable it, and disable
+//! it again when the guard drops.
+//!
+//! ```
+//! let session = obs::session();
+//! {
+//!     let mut span = obs::span("demo", "work");
+//!     span.attr("items", 3);
+//!     obs::counter_add("demo.events", 1);
+//! }
+//! let snap = session.snapshot();
+//! assert_eq!(snap.spans.len(), 1);
+//! assert_eq!(snap.counter("demo.events"), 1);
+//! let trace = snap.chrome_trace().to_string().unwrap();
+//! obs::validate_trace(&trace).unwrap();
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+mod chrome;
+mod validate;
+
+pub use chrome::TraceBuilder;
+pub use validate::{validate_trace, TraceStats};
+
+/// Canonical metric names, shared between recorders and tests so the
+/// two sides can never drift apart. DESIGN.md §7 documents each.
+pub mod names {
+    /// Counter: collective ops that failed with a deadline timeout.
+    pub const COLLECTIVES_TIMEOUTS: &str = "collectives.timeouts";
+    /// Counter: re-attempts of an already-attempted op-stream position.
+    pub const COLLECTIVES_RETRIES: &str = "collectives.retries";
+    /// Counter: ops that observed an abandoned rendezvous round.
+    pub const COLLECTIVES_ABANDONED: &str = "collectives.abandoned";
+    /// Counter: ops that failed on a poisoned group.
+    pub const COLLECTIVES_POISONED: &str = "collectives.poisoned";
+    /// Counter: ops that failed fast on a dead peer.
+    pub const COLLECTIVES_RANK_DOWN: &str = "collectives.rank_down";
+    /// Counter: faults the injector delivered (kills, delays, drops).
+    pub const COLLECTIVES_FAULTS_INJECTED: &str = "collectives.faults_injected";
+    /// Counter: abandoned exchanges skipped via `GroupComm::skip_op`.
+    pub const COLLECTIVES_SKIPPED_OPS: &str = "collectives.skipped_ops";
+    /// Counter: token assignments dropped by degraded MoE forwards.
+    pub const MOE_DROPPED_TOKENS: &str = "moe.dropped_tokens";
+    /// Counter: degraded forwards that dropped tokens (events, not tokens).
+    pub const MOE_DROP_EVENTS: &str = "moe.drop_events";
+    /// Histogram: per-expert token load, one sample per expert per gate.
+    pub const MOE_EXPERT_LOAD: &str = "moe.expert_load";
+}
+
+// --- registry ---------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn current_tid() -> u64 {
+    TID.with(|cell| {
+        let mut tid = cell.get();
+        if tid == 0 {
+            tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            cell.set(tid);
+        }
+        tid
+    })
+}
+
+/// One finished span as stored in the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Category (the subsystem: `"collectives"`, `"fsmoe"`, `"models"`…).
+    pub cat: &'static str,
+    /// Span name (`"all_to_all"`, `"expert_compute"`, …).
+    pub name: &'static str,
+    /// Recording thread, a small process-local id.
+    pub tid: u64,
+    /// Start, µs since the registry epoch (the last [`reset`]).
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// `key=value` attributes, in insertion order.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// Power-of-two-bucket histogram: bucket 0 holds `v < 1`, bucket `i > 0`
+/// holds `2^(i-1) <= v < 2^i`, and the last bucket absorbs overflow.
+pub const HIST_BUCKETS: usize = 24;
+
+/// A fixed-bucket histogram of `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Per-bucket counts (see [`HIST_BUCKETS`] for the boundaries).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v < 1.0 {
+        0
+    } else {
+        let exp = v.log2().floor();
+        // v >= 1 so exp >= 0; +1 shifts past the underflow bucket
+        ((exp as usize) + 1).min(HIST_BUCKETS - 1)
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    threads: BTreeMap<u64, String>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            threads: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        }
+    }
+}
+
+fn inner() -> MutexGuard<'static, Inner> {
+    static INNER: OnceLock<Mutex<Inner>> = OnceLock::new();
+    INNER
+        .get_or_init(|| Mutex::new(Inner::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Whether the registry currently records. One relaxed atomic load —
+/// callers may gate eager attribute construction on this.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off without clearing data. Prefer [`session`]
+/// in tests — it also takes the cross-test lock and resets.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Clears all spans and metrics and restarts the time epoch.
+pub fn reset() {
+    *inner() = Inner::new();
+}
+
+/// An exclusive recording session: holds the process-wide session lock,
+/// resets and enables the registry on entry, disables it on drop.
+///
+/// Tests (and the trace example) use this so concurrent users of the
+/// global registry cannot pollute each other's exact counts.
+pub struct Session {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Opens a [`Session`]: lock, [`reset`], enable.
+///
+/// Blocks until any other live session drops.
+#[must_use]
+pub fn session() -> Session {
+    static SESSION_LOCK: Mutex<()> = Mutex::new(());
+    let lock = SESSION_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    reset();
+    set_enabled(true);
+    Session { _lock: lock }
+}
+
+impl Session {
+    /// A copy of everything recorded so far in this session.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        snapshot()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        set_enabled(false);
+    }
+}
+
+/// Names the calling thread in trace exports (e.g. `"rank 3"`).
+/// No-op while disabled.
+pub fn set_thread_name(name: &str) {
+    if !is_enabled() {
+        return;
+    }
+    let tid = current_tid();
+    inner().threads.insert(tid, name.to_string());
+}
+
+// --- spans ------------------------------------------------------------
+
+struct ActiveSpan {
+    cat: &'static str,
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, String)>,
+    record_on_drop: bool,
+}
+
+/// An RAII timed region. Created by [`span`] (records when dropped) or
+/// [`deferred_span`] (records only on [`Span::commit`] — dropping
+/// discards, which is how error paths avoid emitting success spans).
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Attaches a `key=value` attribute. The value is only formatted
+    /// while the registry is enabled (disabled spans hold no state).
+    pub fn attr(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(active) = &mut self.active {
+            active.attrs.push((key, value.to_string()));
+        }
+    }
+
+    /// Records a deferred span now. (Also fine on a regular span: it
+    /// just records at `commit` time instead of drop time.)
+    pub fn commit(mut self) {
+        if let Some(active) = self.active.take() {
+            record_span(&active);
+        }
+    }
+
+    /// Discards the span — nothing is recorded.
+    pub fn cancel(mut self) {
+        self.active = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            if active.record_on_drop {
+                record_span(&active);
+            }
+        }
+    }
+}
+
+fn new_span(cat: &'static str, name: &'static str, record_on_drop: bool) -> Span {
+    if !is_enabled() {
+        return Span { active: None };
+    }
+    Span {
+        active: Some(ActiveSpan {
+            cat,
+            name,
+            start: Instant::now(),
+            attrs: Vec::new(),
+            record_on_drop,
+        }),
+    }
+}
+
+/// Opens a span that records when it goes out of scope.
+#[must_use]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    new_span(cat, name, true)
+}
+
+/// Opens a span that records **only** when [`Span::commit`] is called —
+/// dropping it (e.g. on an error return) records nothing.
+#[must_use]
+pub fn deferred_span(cat: &'static str, name: &'static str) -> Span {
+    new_span(cat, name, false)
+}
+
+fn record_span(active: &ActiveSpan) {
+    if !is_enabled() {
+        return; // session ended while the span was open
+    }
+    let tid = current_tid();
+    let end = Instant::now();
+    let mut guard = inner();
+    let start_us = active
+        .start
+        .saturating_duration_since(guard.epoch)
+        .as_micros() as u64;
+    let dur_us = end.saturating_duration_since(active.start).as_micros() as u64;
+    guard.spans.push(SpanRecord {
+        cat: active.cat,
+        name: active.name,
+        tid,
+        start_us,
+        dur_us,
+        attrs: active.attrs.clone(),
+    });
+}
+
+// --- metrics ----------------------------------------------------------
+
+/// Adds `delta` to the monotonic counter `name`. No-op while disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut guard = inner();
+    match guard.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            guard.counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Current value of counter `name` (0 when never incremented). Reads
+/// work even while disabled — adapters poll counters after a session.
+#[must_use]
+pub fn counter_value(name: &str) -> u64 {
+    inner().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Records one sample into histogram `name`. Non-finite samples are
+/// ignored. No-op while disabled.
+pub fn record_hist(name: &str, value: f64) {
+    if !is_enabled() || !value.is_finite() {
+        return;
+    }
+    let mut guard = inner();
+    match guard.histograms.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Histogram::new();
+            h.record(value);
+            guard.histograms.insert(name.to_string(), h);
+        }
+    }
+}
+
+/// Sets gauge `name` to `value` (last write wins). Non-finite values
+/// are ignored. No-op while disabled.
+pub fn set_gauge(name: &str, value: f64) {
+    if !is_enabled() || !value.is_finite() {
+        return;
+    }
+    inner().gauges.insert(name.to_string(), value);
+}
+
+// --- snapshot ---------------------------------------------------------
+
+/// An immutable copy of the registry contents, plus the exporters.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All recorded spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// Thread names by tid.
+    pub threads: BTreeMap<u64, String>,
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+/// Copies the registry contents out (works enabled or disabled).
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let guard = inner();
+    Snapshot {
+        spans: guard.spans.clone(),
+        threads: guard.threads.clone(),
+        counters: guard.counters.clone(),
+        histograms: guard.histograms.clone(),
+        gauges: guard.gauges.clone(),
+    }
+}
+
+impl Snapshot {
+    /// Counter value by name (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Spans whose category is `cat`.
+    #[must_use]
+    pub fn spans_in(&self, cat: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.cat == cat).collect()
+    }
+
+    /// Spans named `name` (any category).
+    #[must_use]
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The plain-text metrics dump: one line per counter, histogram and
+    /// gauge, deterministically ordered.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::from("# fsmoe-rs metrics\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist {name} count={} sum={} min={} max={} mean={}\n",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            ));
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let (lo, hi) = bucket_bounds(i);
+                out.push_str(&format!("hist {name} bucket[{lo},{hi}) {n}\n"));
+            }
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        out
+    }
+}
+
+fn bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        (0.0, 1.0)
+    } else if i == HIST_BUCKETS - 1 {
+        (2f64.powi(i as i32 - 1), f64::MAX)
+    } else {
+        (2f64.powi(i as i32 - 1), 2f64.powi(i as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _session = session();
+        set_enabled(false); // keep the lock so no other test interferes
+        let before = snapshot().spans.len();
+        {
+            let mut s = span("test", "ignored");
+            s.attr("k", 1);
+        }
+        counter_add("test.counter", 5);
+        record_hist("test.hist", 2.0);
+        set_gauge("test.gauge", 1.5);
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), before);
+        assert_eq!(snap.counter("test.counter"), 0);
+        assert!(snap.histogram("test.hist").is_none());
+        assert!(!snap.gauges.contains_key("test.gauge"));
+    }
+
+    #[test]
+    fn session_records_spans_counters_hists_gauges() {
+        let session = session();
+        set_thread_name("unit-test");
+        {
+            let mut s = span("test", "outer");
+            s.attr("rank", 0);
+            {
+                let _inner = span("test", "inner");
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        counter_add("test.counter", 2);
+        counter_add("test.counter", 3);
+        record_hist("test.hist", 0.5);
+        record_hist("test.hist", 3.0);
+        record_hist("test.hist", 1e30); // overflow bucket
+        set_gauge("test.gauge", 0.25);
+
+        let snap = session.snapshot();
+        assert_eq!(snap.spans.len(), 2, "inner drops first, then outer");
+        assert_eq!(snap.spans[0].name, "inner");
+        assert_eq!(snap.spans[1].name, "outer");
+        assert_eq!(snap.spans[1].attrs, vec![("rank", "0".to_string())]);
+        // the outer span contains the inner span in time
+        assert!(snap.spans[1].start_us <= snap.spans[0].start_us);
+        assert!(
+            snap.spans[1].start_us + snap.spans[1].dur_us
+                >= snap.spans[0].start_us + snap.spans[0].dur_us
+        );
+        assert_eq!(snap.counter("test.counter"), 5);
+        assert_eq!(counter_value("test.counter"), 5);
+        let h = snap.histogram("test.hist").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[2], 1, "3.0 lands in [2,4)");
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1, "1e30 overflows");
+        assert_eq!(snap.gauges["test.gauge"], 0.25);
+        assert!(snap.threads.values().any(|n| n == "unit-test"));
+    }
+
+    #[test]
+    fn deferred_span_discards_on_drop_and_records_on_commit() {
+        let session = session();
+        {
+            let dropped = deferred_span("test", "error_path");
+            drop(dropped);
+        }
+        {
+            let committed = deferred_span("test", "success_path");
+            committed.commit();
+        }
+        let snap = session.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "success_path");
+    }
+
+    #[test]
+    fn metrics_text_lists_everything() {
+        let session = session();
+        counter_add("a.counter", 7);
+        record_hist("b.hist", 2.5);
+        set_gauge("c.gauge", 1.0);
+        let text = session.snapshot().metrics_text();
+        assert!(text.contains("counter a.counter 7"));
+        assert!(text.contains("hist b.hist count=1"));
+        assert!(text.contains("bucket[2,4) 1"));
+        assert!(text.contains("gauge c.gauge 1"));
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(0.99), 0);
+        assert_eq!(bucket_index(1.0), 1);
+        assert_eq!(bucket_index(1.99), 1);
+        assert_eq!(bucket_index(2.0), 2);
+        assert_eq!(bucket_index(1024.0), 11);
+        assert_eq!(bucket_index(f64::MAX), HIST_BUCKETS - 1);
+    }
+}

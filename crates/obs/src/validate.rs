@@ -1,0 +1,173 @@
+//! The in-tree trace checker CI runs over emitted trace files.
+//!
+//! A trace that loads in a viewer but lies (negative durations, events
+//! out of order, missing fields) is worse than no trace, so the smoke
+//! step validates structure, typing and timestamp monotonicity before
+//! a human ever opens the file.
+
+use std::collections::BTreeMap;
+
+use jsonio::Json;
+
+/// Summary of a validated trace document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events of any phase.
+    pub events: usize,
+    /// Complete ("X") span events.
+    pub spans: usize,
+    /// Distinct `(pid, tid)` rows carrying spans.
+    pub threads: usize,
+    /// Largest `ts + dur` seen, in µs.
+    pub max_ts_us: u64,
+}
+
+fn num_field(event: &Json, key: &str, idx: usize) -> Result<f64, String> {
+    let v = event
+        .get(key)
+        .map_err(|_| format!("event {idx}: missing {key:?}"))?
+        .as_f64()
+        .map_err(|_| format!("event {idx}: {key:?} is not a number"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "event {idx}: {key:?} = {v} is not a finite non-negative number"
+        ));
+    }
+    Ok(v)
+}
+
+/// Validates a Chrome trace-event document:
+///
+/// * parses as JSON with a `"traceEvents"` array of objects;
+/// * every event has a string `"ph"` and a non-empty string `"name"`;
+/// * every `"X"` event has finite, non-negative numeric
+///   `ts`/`dur`/`pid`/`tid`;
+/// * per `(pid, tid)` row, `"X"` start timestamps are non-decreasing in
+///   document order (viewers tolerate disorder; our exporters promise
+///   better, and the promise is what makes diffs of traces readable);
+/// * at least one `"X"` span exists.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .map_err(|_| "missing top-level \"traceEvents\"".to_string())?
+        .as_arr()
+        .map_err(|_| "\"traceEvents\" is not an array".to_string())?;
+
+    let mut spans = 0usize;
+    let mut max_ts_us = 0u64;
+    let mut last_start: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for (idx, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .map_err(|_| format!("event {idx}: missing \"ph\""))?
+            .as_str()
+            .map_err(|_| format!("event {idx}: \"ph\" is not a string"))?;
+        let name = event
+            .get("name")
+            .map_err(|_| format!("event {idx}: missing \"name\""))?
+            .as_str()
+            .map_err(|_| format!("event {idx}: \"name\" is not a string"))?;
+        if name.is_empty() {
+            return Err(format!("event {idx}: empty \"name\""));
+        }
+        if ph != "X" {
+            continue;
+        }
+        spans += 1;
+        let ts = num_field(event, "ts", idx)?;
+        let dur = num_field(event, "dur", idx)?;
+        let pid = num_field(event, "pid", idx)? as u64;
+        let tid = num_field(event, "tid", idx)? as u64;
+        max_ts_us = max_ts_us.max((ts + dur) as u64);
+        if let Some(&prev) = last_start.get(&(pid, tid)) {
+            if ts < prev {
+                return Err(format!(
+                    "event {idx} ({name:?}): ts {ts} precedes {prev} on pid {pid} tid {tid} — \
+                     timestamps must be non-decreasing per thread row"
+                ));
+            }
+        }
+        last_start.insert((pid, tid), ts);
+    }
+    if spans == 0 {
+        return Err("trace contains no \"X\" span events".to_string());
+    }
+    Ok(TraceStats {
+        events: events.len(),
+        spans,
+        threads: last_start.len(),
+        max_ts_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(name: &str, tid: f64, ts: f64, dur: f64) -> String {
+        format!(
+            r#"{{"ph":"X","name":"{name}","cat":"t","pid":1,"tid":{tid},"ts":{ts},"dur":{dur},"args":{{}}}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let text = format!(
+            r#"{{"traceEvents":[{},{},{}]}}"#,
+            x("a", 1.0, 0.0, 10.0),
+            x("b", 1.0, 2.0, 3.0),
+            x("c", 2.0, 1.0, 4.0)
+        );
+        let stats = validate_trace(&text).unwrap();
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.max_ts_us, 10);
+    }
+
+    #[test]
+    fn rejects_garbage_and_structural_problems() {
+        assert!(validate_trace("not json").is_err());
+        assert!(validate_trace(r#"{"other": 1}"#).is_err());
+        assert!(validate_trace(r#"{"traceEvents": 3}"#).is_err());
+        // no spans at all
+        let err = validate_trace(r#"{"traceEvents":[]}"#).unwrap_err();
+        assert!(err.contains("no \"X\" span"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        // missing dur
+        let text = r#"{"traceEvents":[{"ph":"X","name":"a","pid":1,"tid":1,"ts":0}]}"#;
+        assert!(validate_trace(text).unwrap_err().contains("dur"));
+        // negative ts
+        let text = format!(r#"{{"traceEvents":[{}]}}"#, x("a", 1.0, -1.0, 5.0));
+        assert!(validate_trace(&text).unwrap_err().contains("ts"));
+        // empty name
+        let text = format!(r#"{{"traceEvents":[{}]}}"#, x("", 1.0, 0.0, 5.0));
+        assert!(validate_trace(&text).unwrap_err().contains("name"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_rows() {
+        let text = format!(
+            r#"{{"traceEvents":[{},{}]}}"#,
+            x("late", 1.0, 10.0, 1.0),
+            x("early", 1.0, 5.0, 1.0)
+        );
+        let err = validate_trace(&text).unwrap_err();
+        assert!(err.contains("non-decreasing"), "{err}");
+        // same disorder on *different* rows is fine
+        let text = format!(
+            r#"{{"traceEvents":[{},{}]}}"#,
+            x("late", 1.0, 10.0, 1.0),
+            x("early", 2.0, 5.0, 1.0)
+        );
+        validate_trace(&text).unwrap();
+    }
+}

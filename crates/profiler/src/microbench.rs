@@ -67,6 +67,17 @@ pub fn profile_op(
         })
         .collect();
     let fitted = fit_cost_model(&samples).expect("sweeps have ≥ 2 distinct sizes");
+    if obs::is_enabled() {
+        // Mirror the sweep into the registry: each averaged measurement
+        // lands in a per-op histogram (ms → µs) and the recovered α–β
+        // fit in gauges, so a trace dump carries the Fig. 5 data.
+        for &(_, t_ms) in &samples {
+            obs::record_hist(&format!("profiler.{name}.sample_us"), t_ms * 1000.0);
+        }
+        obs::set_gauge(&format!("profiler.{name}.alpha"), fitted.model.alpha);
+        obs::set_gauge(&format!("profiler.{name}.beta"), fitted.model.beta);
+        obs::set_gauge(&format!("profiler.{name}.r_squared"), fitted.r_squared);
+    }
     OpProfile {
         name,
         samples,

@@ -44,6 +44,7 @@ mod error;
 mod gantt;
 mod task;
 mod testbed;
+mod trace;
 
 pub use cost::{CostModel, OpCosts};
 pub use engine::{Engine, Span, Straggler, Timeline};
@@ -51,6 +52,7 @@ pub use error::SimError;
 pub use gantt::render_gantt;
 pub use task::{ResourceId, Task, TaskGraph, TaskId};
 pub use testbed::{Testbed, TestbedKind};
+pub use trace::{timeline_trace, SIMNET_PID};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,147 @@
+//! Trace one distributed training iteration end to end.
+//!
+//! Runs a single [`models::dist_train_step`] over a 2-rank
+//! [`DistMoeLayer`] built from the `Smoke` preset, with one injected
+//! fault (rank 1 stalls 400 ms entering its first collective while the
+//! deadline is 80 ms) so the trace shows the retry machinery at work.
+//! The resulting span tree nests `models` → `fsmoe` → `collectives`.
+//!
+//! The trace is written as Chrome trace-event JSON (open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) and self-validated
+//! with the in-tree checker — CI runs this as its observability smoke
+//! step.
+//!
+//! Run with
+//! `cargo run --release -p models --example trace_training_step -- [out.json]`.
+
+use std::time::Duration;
+
+use collectives::{run_world_within, CommWorld, FaultInjector, HybridTopology, ParallelDims};
+use fsmoe::dist::{DistMoeLayer, FaultPolicy};
+use models::{dist_train_step, ModelPreset};
+use tensor::TensorRng;
+
+fn ensure(cond: bool, what: &str) {
+    if !cond {
+        eprintln!("trace check FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/trace_smoke.json".to_string());
+
+    let session = obs::session();
+
+    // Rank 1 stalls well past the collective deadline on its first op,
+    // forcing rank 0 to time out and retry until rank 1 shows up.
+    let world = CommWorld::new(2)
+        .with_deadline(Duration::from_millis(80))
+        .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(400)));
+    let preset = ModelPreset::smoke();
+    let cfg = preset.moe_config_for(2).expect("smoke preset is valid");
+    let run_cfg = cfg.clone();
+    let losses = run_world_within(world, Duration::from_secs(60), move |comm| {
+        let topo = HybridTopology::new(
+            1,
+            2,
+            ParallelDims {
+                dp: 2,
+                mp: 1,
+                ep: 2,
+                esp: 1,
+            },
+        )
+        .expect("2-rank EP layout is valid");
+        let mut layer =
+            DistMoeLayer::gshard(&run_cfg, &comm, &topo, 42).expect("layer construction");
+        // Generous retry budget: the stall should cost retries, never
+        // dropped tokens.
+        layer.set_fault_policy(FaultPolicy {
+            max_retries: 12,
+            backoff: Duration::from_millis(10),
+            drop_on_failure: true,
+        });
+        let mut data_rng = TensorRng::seed_from(500 + comm.rank() as u64);
+        let input = data_rng.normal(&[run_cfg.tokens(), run_cfg.embed_dim], 0.0, 1.0);
+        let target = data_rng.normal(&[run_cfg.tokens(), run_cfg.embed_dim], 0.0, 1.0);
+        let mut route_rng = TensorRng::seed_from(0);
+        let loss = dist_train_step(&mut layer, &input, &target, 0.2, &mut route_rng)
+            .expect("training step");
+        (loss, layer.dropped_tokens())
+    });
+
+    let snap = session.snapshot();
+    drop(session);
+
+    for (rank, (loss, dropped)) in losses.iter().enumerate() {
+        println!("rank {rank}: loss {loss:.4}, dropped tokens {dropped}");
+    }
+
+    // The fault showed up as retries, not as lost tokens.
+    let retries = snap.counter(obs::names::COLLECTIVES_RETRIES);
+    let timeouts = snap.counter(obs::names::COLLECTIVES_TIMEOUTS);
+    println!("collectives: {retries} retries after {timeouts} timeouts");
+    ensure(retries > 0, "the injected stall must force >= 1 retry");
+    ensure(
+        snap.counter(obs::names::COLLECTIVES_FAULTS_INJECTED) > 0,
+        "the fault injector must fire",
+    );
+    ensure(
+        snap.counter(obs::names::MOE_DROPPED_TOKENS) == 0,
+        "retries must absorb the stall without dropping tokens",
+    );
+
+    // The span tree nests models -> fsmoe -> collectives on each rank.
+    let within = |inner: &obs::SpanRecord, outer: &obs::SpanRecord| {
+        inner.tid == outer.tid
+            && inner.start_us >= outer.start_us
+            && inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us
+    };
+    let steps = snap.spans_named("train_step");
+    ensure(steps.len() == 2, "one train_step span per rank");
+    for step in &steps {
+        let fwd = snap
+            .spans_named("moe.forward")
+            .into_iter()
+            .find(|s| within(s, step));
+        let Some(fwd) = fwd else {
+            ensure(false, "fsmoe moe.forward nests inside models train_step");
+            return;
+        };
+        ensure(
+            snap.spans_in("collectives").iter().any(|c| within(c, fwd)),
+            "a collective span nests inside fsmoe moe.forward",
+        );
+    }
+    let hist = snap.histogram(obs::names::MOE_EXPERT_LOAD);
+    ensure(
+        hist.is_some_and(|h| h.count > 0),
+        "per-expert load histogram recorded",
+    );
+
+    // Export, then re-validate the artifact exactly as CI's checker
+    // sees it.
+    let doc = snap.chrome_trace();
+    let text = doc.to_string().expect("trace serializes");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &text).expect("write trace file");
+    match obs::validate_trace(&text) {
+        Ok(stats) => println!(
+            "wrote {out_path}: {} events, {} spans on {} threads, {:.1} ms",
+            stats.events,
+            stats.spans,
+            stats.threads,
+            stats.max_ts_us as f64 / 1000.0
+        ),
+        Err(e) => {
+            eprintln!("trace check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("open it in chrome://tracing or https://ui.perfetto.dev");
+}
