@@ -33,4 +33,30 @@ echo "==> chaos suite (default threading)"
 timeout --kill-after=30 300 \
     cargo test -q -p collectives --test chaos --test faults
 
+echo "==> elastic recovery smoke: 3-rank run surviving a dead rank"
+# Rank 2 dies permanently after one step; the survivors evict it,
+# re-shard the orphaned experts, roll back to the last snapshot, and
+# finish. The example self-validates the elastic.reconfigure spans, the
+# membership-epoch gauge, the eviction counter, and the exported trace.
+timeout --kill-after=30 120 \
+    cargo run --release -p models --example elastic_recovery -- target/elastic_recovery.json
+
+echo "==> elastic chaos soak: >= 8 seeds x 2-8 ranks under a hang watchdog"
+# ELASTIC_SOAK_WIDE=1 widens the soak to 6- and 8-rank worlds. The GNU
+# timeout watchdog distinguishes a hang (a deadlocked eviction shows up
+# as exit 124/137, surfaced as 124) from an assertion failure (any
+# other non-zero exit, surfaced as 1).
+set +e
+ELASTIC_SOAK_WIDE=1 timeout --kill-after=30 600 \
+    cargo test -q -p models --test elastic --test elastic_obs
+soak_rc=$?
+set -e
+if [ "$soak_rc" -eq 124 ] || [ "$soak_rc" -eq 137 ]; then
+    echo "elastic chaos soak HANG (watchdog fired)" >&2
+    exit 124
+elif [ "$soak_rc" -ne 0 ]; then
+    echo "elastic chaos soak FAILED (assertion)" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -70,6 +70,25 @@ pub enum CommError {
         /// The group's (strictly greater) current round id.
         stream_id: u64,
     },
+    /// The world's membership changed: an eviction completed and this
+    /// world is fenced. No collective on it can ever complete again —
+    /// survivors must rebind through
+    /// [`crate::Communicator::reconfigured`], which hands them a fresh
+    /// communicator over the shrunken world (contiguous ranks, rebuilt
+    /// groups, op streams starting from zero).
+    Reconfigured {
+        /// The membership epoch the world advanced to.
+        epoch: u64,
+    },
+    /// Two ranks proposed evicting *different* victims in the same
+    /// membership epoch. Exactly one eviction can be agreed per epoch;
+    /// the losing proposer must re-propose after reconfiguring.
+    EvictConflict {
+        /// The victim this caller proposed.
+        proposed: usize,
+        /// The victim already under agreement.
+        agreed: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -109,6 +128,14 @@ impl fmt::Display for CommError {
             } => write!(
                 f,
                 "{op}: op {op_id} abandoned by peers (group op stream at {stream_id})"
+            ),
+            CommError::Reconfigured { epoch } => write!(
+                f,
+                "world reconfigured to membership epoch {epoch}; rebind via Communicator::reconfigured()"
+            ),
+            CommError::EvictConflict { proposed, agreed } => write!(
+                f,
+                "eviction conflict: proposed victim {proposed} but rank {agreed} is already under agreement"
             ),
         }
     }
@@ -154,6 +181,16 @@ mod tests {
         assert!(abandoned.to_string().contains("abandoned"));
         assert!(abandoned.to_string().contains("3"));
         assert!(abandoned.to_string().contains("5"));
+        let reconfigured = CommError::Reconfigured { epoch: 7 };
+        assert!(reconfigured.to_string().contains("epoch 7"));
+        assert!(reconfigured.to_string().contains("reconfigured"));
+        let conflict = CommError::EvictConflict {
+            proposed: 2,
+            agreed: 3,
+        };
+        assert!(conflict.to_string().contains("2"));
+        assert!(conflict.to_string().contains("3"));
+        assert!(conflict.to_string().contains("conflict"));
     }
 
     #[test]

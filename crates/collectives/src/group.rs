@@ -25,9 +25,10 @@ use crate::world::WorldCtrl;
 use crate::{CommError, Result};
 
 /// How often waiting ranks re-check world fault state (dead ranks,
-/// poisoning) even without a notification. Bounds the detection latency
-/// for ranks blocked on *other* groups than the one a fault hit.
-const FAULT_POLL: Duration = Duration::from_millis(25);
+/// poisoning, membership fences) even without a notification. Bounds the
+/// detection latency for ranks blocked on *other* groups than the one a
+/// fault hit.
+pub(crate) const FAULT_POLL: Duration = Duration::from_millis(25);
 
 /// Which collective the group is currently executing, used to detect SPMD
 /// violations (two ranks calling different collectives on one group).
@@ -113,6 +114,12 @@ impl GroupInner {
             streams: (0..n).map(|_| AtomicU64::new(0)).collect(),
             attempts: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// Wakes every waiter blocked on this group's condvar, so world-wide
+    /// events (deaths, membership fences) are observed promptly.
+    pub(crate) fn wake_all(&self) {
+        self.cond.notify_all();
     }
 }
 
@@ -378,6 +385,11 @@ impl GroupComm {
                 rank: self.global_rank,
             });
         }
+        if let Some(err) = ctrl.reconfig_error() {
+            // The world was fenced by a completed eviction: no collective
+            // on it can ever complete again.
+            return Err(err);
+        }
         if let Some(injector) = ctrl.injector() {
             let action = injector.on_collective(self.global_rank);
             if action.is_some() {
@@ -412,6 +424,9 @@ impl GroupComm {
         loop {
             if let Some(rank) = st.poisoned {
                 return Err(CommError::Poisoned { rank });
+            }
+            if let Some(err) = ctrl.reconfig_error() {
+                return Err(err);
             }
             self.settle_drain(&mut st);
             if matches!(st.phase, Phase::Collecting(_)) {
@@ -493,6 +508,11 @@ impl GroupComm {
                 if let Some(rank) = st.poisoned {
                     self.withdraw(&mut st);
                     return Err(CommError::Poisoned { rank });
+                }
+                if let Some(err) = ctrl.reconfig_error() {
+                    self.withdraw(&mut st);
+                    self.inner.cond.notify_all();
+                    return Err(err);
                 }
                 if st.round_id != my_id {
                     // A peer that had already skipped our op flushed this

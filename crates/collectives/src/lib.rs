@@ -35,7 +35,13 @@
 //!   [`CommError::Abandoned`] instead of silently mixed payloads;
 //! * **fault injection** ([`FaultInjector`], [`CommWorld::with_faults`])
 //!   — deterministic, seedable schedules of rank kills, straggler delays
-//!   and payload drops, so every collective can be attacked in tests.
+//!   and payload drops, so every collective can be attacked in tests;
+//! * **elastic membership** ([`Communicator::propose_evict`],
+//!   [`Communicator::reconfigured`]) — survivors of a permanently dead
+//!   rank agree to evict it, the membership epoch bumps, the old world
+//!   is fenced (in-flight ops fail with [`CommError::Reconfigured`]) and
+//!   each survivor rebinds into a shrunken world with contiguous ranks
+//!   and fresh op streams.
 //!
 //! # Example
 //!

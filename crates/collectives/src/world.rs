@@ -1,30 +1,69 @@
-//! World construction, sub-group registry, and world-wide fault state.
+//! World construction, sub-group registry, and world-wide fault state —
+//! including the membership-epoch control plane that lets survivors
+//! evict a permanently dead rank and continue on a shrunken world.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::fault::FaultInjector;
-use crate::group::GroupInner;
+use crate::group::{GroupInner, FAULT_POLL};
 use crate::{CommError, GroupComm, Result};
 
-/// World-wide control plane shared by every group: which ranks are dead
-/// and which faults are scheduled. Lock-free reads so the rendezvous hot
-/// path can consult it while holding a group lock.
+/// The shrunken world an agreed eviction produces: who survived (old
+/// global ranks, ascending — a survivor's new rank is its index here)
+/// and the fresh registry every survivor rebinds through.
+#[derive(Debug)]
+struct NextWorld {
+    epoch: u64,
+    survivors: Vec<usize>,
+    registry: Arc<GroupRegistry>,
+}
+
+/// The in-progress eviction vote: at most one victim per epoch, one vote
+/// per live rank, and the completed `next` world once everyone agreed.
+#[derive(Debug)]
+struct ReconfigVote {
+    victim: Option<usize>,
+    votes: Vec<bool>,
+    next: Option<NextWorld>,
+}
+
+/// World-wide control plane shared by every group: which ranks are dead,
+/// which faults are scheduled, and the membership epoch. Dead-rank and
+/// fence reads are lock-free so the rendezvous hot path can consult them
+/// while holding a group lock.
 #[derive(Debug)]
 pub(crate) struct WorldCtrl {
     dead: Vec<AtomicBool>,
     injector: Option<FaultInjector>,
+    /// Membership epoch: starts at the parent world's epoch (0 for a
+    /// fresh [`CommWorld`]) and bumps once per agreed eviction.
+    epoch: AtomicU64,
+    /// Set when an eviction completes: the world is retired, and every
+    /// in-flight or future collective on it fails with
+    /// [`CommError::Reconfigured`].
+    fenced: AtomicBool,
+    reconfig: Mutex<ReconfigVote>,
+    reconfig_cond: Condvar,
 }
 
 impl WorldCtrl {
-    fn new(size: usize, injector: Option<FaultInjector>) -> Self {
+    fn new(size: usize, injector: Option<FaultInjector>, epoch: u64) -> Self {
         WorldCtrl {
             dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
             injector,
+            epoch: AtomicU64::new(epoch),
+            fenced: AtomicBool::new(false),
+            reconfig: Mutex::new(ReconfigVote {
+                victim: None,
+                votes: vec![false; size],
+                next: None,
+            }),
+            reconfig_cond: Condvar::new(),
         }
     }
 
@@ -43,6 +82,21 @@ impl WorldCtrl {
     pub(crate) fn injector(&self) -> Option<&FaultInjector> {
         self.injector.as_ref()
     }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The error a fenced world's collectives fail with, if fenced.
+    pub(crate) fn reconfig_error(&self) -> Option<CommError> {
+        if self.fenced.load(Ordering::Acquire) {
+            Some(CommError::Reconfigured {
+                epoch: self.epoch(),
+            })
+        } else {
+            None
+        }
+    }
 }
 
 /// Shared registry mapping a rank set to its group state, so every rank
@@ -60,6 +114,16 @@ impl GroupRegistry {
             map.entry(ranks.to_vec())
                 .or_insert_with(|| Arc::new(GroupInner::new(ranks.to_vec(), &self.ctrl))),
         )
+    }
+
+    /// Wakes every waiter on every group, so ranks blocked in a
+    /// rendezvous observe a fence (or a death) without waiting out the
+    /// fault-poll interval.
+    fn wake_all_groups(&self) {
+        let map = self.groups.lock();
+        for group in map.values() {
+            group.wake_all();
+        }
     }
 }
 
@@ -116,7 +180,7 @@ impl CommWorld {
     /// Consumes the world, producing one [`Communicator`] per rank, in
     /// rank order.
     pub fn into_communicators(self) -> Vec<Communicator> {
-        let ctrl = Arc::new(WorldCtrl::new(self.size, self.injector));
+        let ctrl = Arc::new(WorldCtrl::new(self.size, self.injector, 0));
         let registry = Arc::new(GroupRegistry {
             groups: Mutex::new(HashMap::new()),
             ctrl,
@@ -177,6 +241,158 @@ impl Communicator {
     /// [`CommError::RankDown`] instead of waiting for it.
     pub fn declare_dead(&self, rank: usize) {
         self.registry.ctrl.mark_dead(rank);
+        self.registry.wake_all_groups();
+    }
+
+    /// The world's current membership epoch (0 until the first eviction
+    /// completes; carried over into reconfigured worlds, so it is
+    /// monotone across cascaded evictions).
+    pub fn membership_epoch(&self) -> u64 {
+        self.registry.ctrl.epoch()
+    }
+
+    /// Proposes evicting `victim` from the world and blocks until every
+    /// *live* rank has agreed — a control-plane barrier among survivors.
+    ///
+    /// The victim is marked dead immediately, so in-flight data-plane
+    /// collectives involving it fail fast with [`CommError::RankDown`]
+    /// while the vote is still collecting. When the last live rank
+    /// votes, the membership epoch bumps, the old world is *fenced*
+    /// (every subsequent collective on it fails with
+    /// [`CommError::Reconfigured`]) and a shrunken world is published
+    /// for [`Communicator::reconfigured`] to hand out. Calling again
+    /// with the same victim after completion is idempotent.
+    ///
+    /// Ranks that die *during* the vote are excluded from both the
+    /// agreement and the survivor set. The fault injector is **not**
+    /// carried into the new world: its schedule is keyed by old ranks.
+    ///
+    /// Returns the new membership epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`] for an out-of-world victim,
+    /// [`CommError::InvalidGroup`] when proposing to evict oneself,
+    /// [`CommError::RankDown`] when the caller itself is dead,
+    /// [`CommError::EvictConflict`] when a different victim is already
+    /// under agreement this epoch, and [`CommError::Timeout`] (with
+    /// `op = "propose_evict"`) when the communicator's deadline expires
+    /// before every live rank votes.
+    pub fn propose_evict(&self, victim: usize) -> Result<u64> {
+        let ctrl = &self.registry.ctrl;
+        if victim >= self.world_size {
+            return Err(CommError::RankOutOfRange {
+                rank: victim,
+                world_size: self.world_size,
+            });
+        }
+        if victim == self.rank {
+            return Err(CommError::InvalidGroup {
+                reason: format!("rank {} cannot propose evicting itself", self.rank),
+            });
+        }
+        if ctrl.is_dead(self.rank) {
+            return Err(CommError::RankDown { rank: self.rank });
+        }
+        // Fail in-flight data-plane ops involving the victim fast.
+        ctrl.mark_dead(victim);
+        self.registry.wake_all_groups();
+
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        let mut vote = ctrl.reconfig.lock();
+        match vote.victim {
+            None => vote.victim = Some(victim),
+            Some(v) if v == victim => {}
+            Some(v) => {
+                return Err(CommError::EvictConflict {
+                    proposed: victim,
+                    agreed: v,
+                })
+            }
+        }
+        vote.votes[self.rank] = true;
+        ctrl.reconfig_cond.notify_all();
+        loop {
+            if let Some(next) = &vote.next {
+                return Ok(next.epoch);
+            }
+            let live: Vec<usize> = (0..self.world_size).filter(|&r| !ctrl.is_dead(r)).collect();
+            if live.iter().all(|&r| vote.votes[r]) {
+                // Last voter: publish the shrunken world and fence this
+                // one. Survivors are the live ranks in ascending order;
+                // a survivor's new rank is its index in that list.
+                let epoch = ctrl.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                let new_ctrl = Arc::new(WorldCtrl::new(live.len(), None, epoch));
+                let registry = Arc::new(GroupRegistry {
+                    groups: Mutex::new(HashMap::new()),
+                    ctrl: new_ctrl,
+                });
+                vote.next = Some(NextWorld {
+                    epoch,
+                    survivors: live,
+                    registry,
+                });
+                ctrl.fenced.store(true, Ordering::Release);
+                obs::counter_add(obs::names::COLLECTIVES_EVICTIONS, 1);
+                obs::set_gauge(obs::names::COLLECTIVES_MEMBERSHIP_EPOCH, epoch as f64);
+                ctrl.reconfig_cond.notify_all();
+                self.registry.wake_all_groups();
+                return Ok(epoch);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                let waiting_on = live.iter().copied().filter(|&r| !vote.votes[r]).collect();
+                return Err(CommError::Timeout {
+                    op: "propose_evict",
+                    waiting_on,
+                });
+            }
+            // Bounded wait: a voter may die without notifying this
+            // condvar, so re-check the live set every FAULT_POLL.
+            let dur = match deadline {
+                Some(d) => d.saturating_duration_since(Instant::now()).min(FAULT_POLL),
+                None => FAULT_POLL,
+            };
+            let _ = ctrl.reconfig_cond.wait_for(&mut vote, dur);
+        }
+    }
+
+    /// Rebinds this rank into the shrunken world a completed eviction
+    /// published: a new communicator with contiguous re-numbered ranks,
+    /// an empty group registry (all derived groups are rebuilt on
+    /// demand) and op streams starting from zero. The collective
+    /// deadline carries over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidGroup`] before any eviction has
+    /// completed and [`CommError::RankDown`] when this rank is not a
+    /// survivor.
+    pub fn reconfigured(&self) -> Result<Communicator> {
+        let vote = self.registry.ctrl.reconfig.lock();
+        let Some(next) = &vote.next else {
+            return Err(CommError::InvalidGroup {
+                reason: "no completed reconfiguration on this world".into(),
+            });
+        };
+        match next.survivors.iter().position(|&r| r == self.rank) {
+            Some(new_rank) => Ok(Communicator {
+                rank: new_rank,
+                world_size: next.survivors.len(),
+                deadline: self.deadline,
+                registry: Arc::clone(&next.registry),
+            }),
+            None => Err(CommError::RankDown { rank: self.rank }),
+        }
+    }
+
+    /// The last completed reconfiguration on this world, if any:
+    /// `(epoch, survivors)` with survivors as *old* global ranks in
+    /// ascending order (a survivor's new rank is its index).
+    pub fn last_reconfiguration(&self) -> Option<(u64, Vec<usize>)> {
+        let vote = self.registry.ctrl.reconfig.lock();
+        vote.next
+            .as_ref()
+            .map(|next| (next.epoch, next.survivors.clone()))
     }
 
     /// The group containing every rank in the world.

@@ -24,12 +24,14 @@ use std::time::Duration;
 use collectives::{CommError, Communicator, GroupComm, HybridTopology};
 use tensor::{Tensor, TensorRng};
 
+use crate::checkpoint::LayerCheckpoint;
 use crate::config::MoeConfig;
 use crate::dispatch::{DispatchCtx, Dispatcher, NcclA2A};
 use crate::expert::{build_expert, for_each_expert, Expert, ExpertState};
 use crate::gate::{GShardGate, Gate};
 use crate::hooks::{MoeHooks, NoopHooks};
 use crate::order::{combine_backward, order_backward, OrderFn, TutelOrdering};
+use crate::reshard::{permute_expert_blocks, unpermute_expert_blocks, ExpertMap, ReshardPlan};
 use crate::routing::Routing;
 use crate::{MoeError, Result};
 
@@ -37,11 +39,12 @@ use crate::{MoeError, Result};
 ///
 /// When a dispatch or combine AlltoAll fails with a *recoverable* fault
 /// (a peer timed out or a peer other than this rank is down), the layer
-/// retries up to `max_retries` times with linear backoff. If the fault
-/// persists and `drop_on_failure` is set, the layer degrades gracefully:
-/// the exchange's tokens are dropped (zero-filled, the paper's
-/// capacity-drop semantics — dropped tokens ride the residual path) and
-/// the per-layer drop counter plus the
+/// retries up to `max_retries` times with bounded exponential backoff
+/// and deterministic jitter (see [`FaultPolicy::backoff_for`]). If the
+/// fault persists and `drop_on_failure` is set, the layer degrades
+/// gracefully: the exchange's tokens are dropped (zero-filled, the
+/// paper's capacity-drop semantics — dropped tokens ride the residual
+/// path) and the per-layer drop counter plus the
 /// [`MoeHooks::on_tokens_dropped`] hook record the loss, and the
 /// abandoned exchange is skipped in the group's op stream
 /// ([`collectives::GroupComm::skip_op`]) so a straggler's late deposit
@@ -52,8 +55,15 @@ use crate::{MoeError, Result};
 pub struct FaultPolicy {
     /// How many times to re-enter a failed AlltoAll before giving up.
     pub max_retries: usize,
-    /// Base backoff between attempts (attempt `k` sleeps `k · backoff`).
-    pub backoff: Duration,
+    /// Backoff before the first retry; attempt `k` waits
+    /// `base_backoff · 2^(k−1)` before jitter.
+    pub base_backoff: Duration,
+    /// Ceiling on the un-jittered backoff — the exponential curve
+    /// saturates here instead of growing without bound.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream. Reproducible runs keep it fixed;
+    /// deployments that want decorrelated ranks vary it per process.
+    pub jitter_seed: u64,
     /// Degrade (drop tokens) instead of failing the whole layer.
     pub drop_on_failure: bool,
 }
@@ -62,10 +72,49 @@ impl Default for FaultPolicy {
     fn default() -> Self {
         FaultPolicy {
             max_retries: 2,
-            backoff: Duration::from_millis(5),
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(80),
+            jitter_seed: 0x5EED,
             drop_on_failure: true,
         }
     }
+}
+
+impl FaultPolicy {
+    /// The wait before retry attempt `attempt` (1-based) on behalf of
+    /// `salt` (callers pass their rank so ranks decorrelate).
+    ///
+    /// The un-jittered wait doubles per attempt from `base_backoff` and
+    /// saturates at `max_backoff`; it is then scaled by a deterministic
+    /// jitter fraction in `[0.5, 1.0)` drawn from splitmix64 over
+    /// `(jitter_seed, salt, attempt)`. Same policy, salt and attempt ⇒
+    /// same wait, so fault-injection tests replay exactly; different
+    /// ranks or attempts decorrelate, so retry stampedes spread out.
+    pub fn backoff_for(&self, attempt: u32, salt: u64) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let shift = (attempt - 1).min(16);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff);
+        let bits = splitmix64(
+            self.jitter_seed ^ salt.rotate_left(17) ^ u64::from(attempt).wrapping_mul(0x9E37_79B9),
+        );
+        // 53 high bits → uniform fraction in [0, 1); map to [0.5, 1.0).
+        let frac = 0.5 + ((bits >> 11) as f64) / ((1u64 << 53) as f64) * 0.5;
+        raw.mul_f64(frac)
+    }
+}
+
+/// splitmix64: the standard 64-bit finalising mix — one multiply-xor
+/// chain, deterministic, good avalanche. Used only for backoff jitter.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Whether a collective failure is worth retrying/degrading on this
@@ -101,7 +150,7 @@ fn a2a_with_policy(
                 let retryable = !matches!(e, CommError::Abandoned { .. });
                 if retryable && attempt < policy.max_retries {
                     attempt += 1;
-                    std::thread::sleep(policy.backoff * attempt as u32);
+                    std::thread::sleep(policy.backoff_for(attempt as u32, self_rank as u64));
                     continue;
                 }
                 if policy.drop_on_failure {
@@ -142,6 +191,9 @@ pub struct DistMoeLayer {
     ep_group: GroupComm,
     esp_group: GroupComm,
     experts_per_ep: usize,
+    /// Which global expert lives at which EP position (block placement
+    /// until a reshard installs something else).
+    expert_map: ExpertMap,
     state: Option<DistState>,
     /// This rank's global rank (to tell "a peer died" from "I died").
     rank: usize,
@@ -257,6 +309,7 @@ impl DistMoeLayer {
         let ep_group = comm.subgroup(&topo.ep_group(comm.rank()))?;
         let esp_group = comm.subgroup(&topo.esp_group(comm.rank()))?;
         let experts_per_ep = config.num_experts / dims.ep;
+        let expert_map = ExpertMap::block(config.num_experts, dims.ep)?;
 
         // Materialise the full expert set identically everywhere, then
         // keep our shards.
@@ -265,7 +318,7 @@ impl DistMoeLayer {
         let mut shards = Vec::with_capacity(experts_per_ep);
         for e in 0..config.num_experts {
             let full = build_expert(config.ffn, config.embed_dim, config.hidden_dim, rng);
-            if e / experts_per_ep == my_ep_pos {
+            if expert_map.position_of(e) == my_ep_pos {
                 shards.push(full.shard(my_shard, dims.esp)?);
             }
         }
@@ -278,6 +331,7 @@ impl DistMoeLayer {
             ep_group,
             esp_group,
             experts_per_ep,
+            expert_map,
             state: None,
             rank: comm.rank(),
             fault_policy: FaultPolicy::default(),
@@ -383,6 +437,22 @@ impl DistMoeLayer {
         }
         let buffer = self.order.order(input, &routing)?; // (E·T, M)
 
+        // The order buffer is in global-expert order; the AlltoAll
+        // exchanges contiguous per-position chunks, so under a
+        // non-block placement the expert blocks are permuted into map
+        // layout first (and un-permuted after combine). Pure data
+        // movement — resharding never changes the numbers.
+        let map_layout = self.expert_map.layout();
+        let block_elems = t * m;
+        let is_block = self.expert_map.is_block();
+        let permuted;
+        let send: &[f32] = if is_block {
+            buffer.data()
+        } else {
+            permuted = permute_expert_blocks(buffer.data(), block_elems, &map_layout);
+            &permuted
+        };
+
         // AlltoAll dispatch over the EP group, with retry/degradation:
         // an unreachable peer drops this exchange's tokens (zero-fill)
         // rather than failing the step. A degraded leg counts the routed
@@ -396,7 +466,7 @@ impl DistMoeLayer {
                 self.dispatcher.as_ref(),
                 self.fault_policy,
                 self.rank,
-                buffer.data(),
+                send,
                 &ctx,
             )?
         };
@@ -456,6 +526,11 @@ impl DistMoeLayer {
                 vec![0.0f32; reduced.len()]
             }
         };
+        let combined = if is_block {
+            combined
+        } else {
+            unpermute_expert_blocks(&combined, block_elems, &map_layout)
+        };
         let expert_out = Tensor::from_vec(combined, &[self.config.num_experts * t, m])?;
 
         let output = self.order.inverse(&expert_out, &routing)?;
@@ -488,12 +563,24 @@ impl DistMoeLayer {
         let m = self.config.embed_dim;
         let routing = &state.routing;
 
-        // i-order adjoint: scatter weighted grads into dispatch layout.
+        // i-order adjoint: scatter weighted grads into dispatch layout,
+        // then into map layout (the adjoint of the forward's inverse
+        // permutation is the forward permutation).
         let grad_expert_out = combine_backward(grad_output, routing)?;
+        let map_layout = self.expert_map.layout();
+        let block_elems = self.config.capacity() * m;
+        let is_block = self.expert_map.is_block();
+        let permuted;
+        let grad_send: &[f32] = if is_block {
+            grad_expert_out.data()
+        } else {
+            permuted = permute_expert_blocks(grad_expert_out.data(), block_elems, &map_layout);
+            &permuted
+        };
 
         // combine-AlltoAll adjoint: AlltoAll back to expert hosts.
         let ctx = DispatchCtx::flat(&self.ep_group);
-        let grad_reduced = self.dispatcher.all_to_all(grad_expert_out.data(), &ctx)?;
+        let grad_reduced = self.dispatcher.all_to_all(grad_send, &ctx)?;
 
         // ReduceScatter adjoint: AllGather the gradient slices.
         let grad_shard_out = self.esp_group.all_gather(&grad_reduced)?;
@@ -517,8 +604,14 @@ impl DistMoeLayer {
         // rank that contributed each token slice.
         let grad_received = self.esp_group.reduce_scatter(&grad_gathered)?;
 
-        // dispatch-AlltoAll adjoint: AlltoAll back to token sources.
+        // dispatch-AlltoAll adjoint: AlltoAll back to token sources,
+        // arriving in map layout; un-permute into expert order.
         let grad_buffer_raw = self.dispatcher.all_to_all(&grad_received, &ctx)?;
+        let grad_buffer_raw = if is_block {
+            grad_buffer_raw
+        } else {
+            unpermute_expert_blocks(&grad_buffer_raw, block_elems, &map_layout)
+        };
         let grad_buffer = Tensor::from_vec(
             grad_buffer_raw,
             &[self.config.num_experts * self.config.capacity(), m],
@@ -547,5 +640,164 @@ impl DistMoeLayer {
             shard.apply_grads(g, lr)?;
         }
         Ok(())
+    }
+
+    /// The active expert placement.
+    pub fn expert_map(&self) -> &ExpertMap {
+        &self.expert_map
+    }
+
+    /// Rebuilds this rank's gate and expert shards from a *full*
+    /// checkpoint (all `E` experts), keeping only the experts the
+    /// current [`ExpertMap`] places here. Forward state is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::BadInput`] when the checkpoint's gate family
+    /// or expert count disagrees with the layer.
+    pub fn restore_full(&mut self, checkpoint: &LayerCheckpoint) -> Result<()> {
+        if checkpoint.gate_name != self.gate.name() {
+            return Err(MoeError::BadInput {
+                expected: format!("gate {:?}", self.gate.name()),
+                actual: vec![checkpoint.gate_name.len()],
+            });
+        }
+        if checkpoint.experts.len() != self.config.num_experts {
+            return Err(MoeError::BadInput {
+                expected: format!("{} expert weight sets", self.config.num_experts),
+                actual: vec![checkpoint.experts.len()],
+            });
+        }
+        self.gate.import_weights(&checkpoint.gate)?;
+        let my_pos = self.ep_group.group_index();
+        let my_shard = self.esp_group.group_index();
+        let n_esp = self.esp_group.size();
+        let mut shards = Vec::with_capacity(self.experts_per_ep);
+        for &e in self.expert_map.experts_on(my_pos) {
+            // The build draws random weights that import_weights then
+            // overwrites; only the shapes matter, so the rng is a
+            // throwaway.
+            let mut scratch = TensorRng::seed_from(0);
+            let mut full = build_expert(
+                self.config.ffn,
+                self.config.embed_dim,
+                self.config.hidden_dim,
+                &mut scratch,
+            );
+            full.import_weights(&checkpoint.experts[e])?;
+            shards.push(full.shard(my_shard, n_esp)?);
+        }
+        self.shards = shards;
+        self.state = None;
+        Ok(())
+    }
+
+    /// Re-shards this rank's slice after a world reconfiguration:
+    /// installs `plan`'s expert placement, rebinds the EP/ESP groups
+    /// over the new communicator, and restores every locally hosted
+    /// expert from `checkpoint`.
+    ///
+    /// The drop account ([`DistMoeLayer::dropped_tokens`]) survives the
+    /// reshard — tokens lost before the eviction stay counted exactly
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::BadConfig`] when the plan disagrees with the
+    /// layer config or the new topology, and propagates group-building
+    /// and restore failures.
+    pub fn reshard(
+        &mut self,
+        plan: &ReshardPlan,
+        checkpoint: &LayerCheckpoint,
+        comm: &Communicator,
+        topo: &HybridTopology,
+    ) -> Result<()> {
+        if plan.map.num_experts() != self.config.num_experts {
+            return Err(MoeError::BadConfig {
+                field: "reshard_plan",
+                reason: format!(
+                    "plan places {} experts, layer has {}",
+                    plan.map.num_experts(),
+                    self.config.num_experts
+                ),
+            });
+        }
+        if plan.map.n_ep() != topo.dims().ep {
+            return Err(MoeError::BadConfig {
+                field: "reshard_plan",
+                reason: format!(
+                    "plan spans {} EP positions, topology has {}",
+                    plan.map.n_ep(),
+                    topo.dims().ep
+                ),
+            });
+        }
+        self.ep_group = comm.subgroup(&topo.ep_group(comm.rank()))?;
+        self.esp_group = comm.subgroup(&topo.esp_group(comm.rank()))?;
+        self.experts_per_ep = plan.map.experts_per_rank();
+        self.expert_map = plan.map.clone();
+        self.rank = comm.rank();
+        self.restore_full(checkpoint)
+    }
+
+    /// Assembles the *full* layer checkpoint collectively: every rank
+    /// contributes its local expert weights over an EP-group AllGather
+    /// and all ranks return the same `E`-expert checkpoint (the gate is
+    /// replicated, so it is exported locally).
+    ///
+    /// Requires `N_ESP == 1` (un-sharded local experts); the elastic
+    /// trainer runs in exactly that regime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::BadConfig`] under ESP sharding, and
+    /// propagates collective failures.
+    pub fn checkpoint_global(&self) -> Result<LayerCheckpoint> {
+        if self.esp_group.size() != 1 {
+            return Err(MoeError::BadConfig {
+                field: "esp",
+                reason: format!(
+                    "checkpoint_global needs un-sharded experts (N_ESP == 1), have {}",
+                    self.esp_group.size()
+                ),
+            });
+        }
+        // All experts share one architecture, so shapes come from any
+        // local expert and the flat wire format is uniform per expert.
+        let shapes: Vec<Vec<usize>> = self.shards[0]
+            .weights()
+            .iter()
+            .map(|w| w.dims().to_vec())
+            .collect();
+        let per_expert: usize = shapes.iter().map(|d| d.iter().product::<usize>()).sum();
+        let mut flat = Vec::with_capacity(self.experts_per_ep * per_expert);
+        for shard in &self.shards {
+            for w in shard.weights() {
+                flat.extend_from_slice(w.data());
+            }
+        }
+        let gathered = self.ep_group.all_gather(&flat)?;
+
+        let n_ep = self.ep_group.size();
+        let mut experts: Vec<Vec<Tensor>> = vec![Vec::new(); self.config.num_experts];
+        for p in 0..n_ep {
+            let chunk = &gathered[p * flat.len()..(p + 1) * flat.len()];
+            for (el, &e) in self.expert_map.experts_on(p).iter().enumerate() {
+                let mut off = el * per_expert;
+                let mut weights = Vec::with_capacity(shapes.len());
+                for dims in &shapes {
+                    let n: usize = dims.iter().product();
+                    weights.push(Tensor::from_vec(chunk[off..off + n].to_vec(), dims)?);
+                    off += n;
+                }
+                experts[e] = weights;
+            }
+        }
+        Ok(LayerCheckpoint {
+            gate_name: self.gate.name().to_string(),
+            gate: self.gate.export_weights(),
+            experts,
+        })
     }
 }

@@ -65,6 +65,7 @@ pub mod gate;
 pub mod hooks;
 pub mod layer;
 pub mod order;
+pub mod reshard;
 pub mod routing;
 pub mod spec;
 

@@ -1,0 +1,302 @@
+//! Expert placement maps and elastic re-sharding plans.
+//!
+//! The distributed layer normally places expert `e` at EP position
+//! `e / (E/N_EP)` (the paper's block layout). When a rank is evicted,
+//! the survivors must keep serving *all* `E` experts over `N_EP − 1`
+//! positions — an [`ExpertMap`] describes any such placement, and a
+//! [`ReshardPlan`] is the deterministic round-robin redistribution of
+//! the evicted position's experts across the survivors.
+//!
+//! Placement is pure data movement: the layer permutes the `(E·T, M)`
+//! dispatch buffer into map order before the EP AlltoAll and inverts
+//! the permutation after combine, so **any** placement of the same
+//! weights computes bit-identical outputs (the property the elastic
+//! bit-identity test in `models` pins down).
+
+use crate::{MoeError, Result};
+
+/// A placement of `E` experts over `N_EP` expert-parallel positions,
+/// with the same number of experts on every position (the dispatch
+/// AlltoAll exchanges equal-size chunks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpertMap {
+    /// `experts_on[p]` — global expert ids hosted at EP position `p`,
+    /// in local order.
+    experts_on: Vec<Vec<usize>>,
+    /// `position_of[e]` — EP position hosting expert `e`.
+    position_of: Vec<usize>,
+}
+
+impl ExpertMap {
+    /// The default block placement: expert `e` at position
+    /// `e / (E/N_EP)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `num_experts` does not divide by `n_ep`.
+    pub fn block(num_experts: usize, n_ep: usize) -> Result<Self> {
+        if n_ep == 0 || !num_experts.is_multiple_of(n_ep) {
+            return Err(MoeError::BadConfig {
+                field: "num_experts",
+                reason: format!("{num_experts} experts do not tile {n_ep} EP positions"),
+            });
+        }
+        let per = num_experts / n_ep;
+        Self::from_lists(
+            (0..n_ep)
+                .map(|p| (p * per..(p + 1) * per).collect())
+                .collect(),
+        )
+    }
+
+    /// Builds a map from explicit per-position expert lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the lists are not uniform in length or do
+    /// not cover every expert exactly once.
+    pub fn from_lists(experts_on: Vec<Vec<usize>>) -> Result<Self> {
+        let n_ep = experts_on.len();
+        let per = experts_on.first().map_or(0, Vec::len);
+        if n_ep == 0 || per == 0 {
+            return Err(MoeError::BadConfig {
+                field: "expert_map",
+                reason: "placement must host at least one expert per position".into(),
+            });
+        }
+        let num_experts = n_ep * per;
+        let mut position_of = vec![usize::MAX; num_experts];
+        for (p, list) in experts_on.iter().enumerate() {
+            if list.len() != per {
+                return Err(MoeError::BadConfig {
+                    field: "expert_map",
+                    reason: format!(
+                        "position {p} hosts {} experts, position 0 hosts {per}: placement must be uniform",
+                        list.len()
+                    ),
+                });
+            }
+            for &e in list {
+                if e >= num_experts || position_of[e] != usize::MAX {
+                    return Err(MoeError::BadConfig {
+                        field: "expert_map",
+                        reason: format!("expert {e} out of range or placed twice"),
+                    });
+                }
+                position_of[e] = p;
+            }
+        }
+        Ok(ExpertMap {
+            experts_on,
+            position_of,
+        })
+    }
+
+    /// Number of EP positions.
+    pub fn n_ep(&self) -> usize {
+        self.experts_on.len()
+    }
+
+    /// Total expert count.
+    pub fn num_experts(&self) -> usize {
+        self.position_of.len()
+    }
+
+    /// Experts hosted per position (uniform).
+    pub fn experts_per_rank(&self) -> usize {
+        self.experts_on[0].len()
+    }
+
+    /// The EP position hosting expert `e`.
+    pub fn position_of(&self, e: usize) -> usize {
+        self.position_of[e]
+    }
+
+    /// Global expert ids hosted at position `p`, in local order.
+    pub fn experts_on(&self, p: usize) -> &[usize] {
+        &self.experts_on[p]
+    }
+
+    /// The dispatch-buffer layout: `layout()[i]` is the global expert
+    /// whose block sits at buffer position `i` (positions are grouped
+    /// by EP position, local order within).
+    pub fn layout(&self) -> Vec<usize> {
+        self.experts_on.iter().flatten().copied().collect()
+    }
+
+    /// Whether this is the identity (block) placement, for which the
+    /// dispatch permutation is a no-op.
+    pub fn is_block(&self) -> bool {
+        self.layout().iter().enumerate().all(|(i, &e)| i == e)
+    }
+
+    /// The placement after evicting position `evicted_pos`: survivors
+    /// keep their experts (positions above the evicted one shift down
+    /// by one), and the orphaned experts are dealt round-robin across
+    /// the survivors in ascending expert order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the eviction leaves no survivors, when
+    /// `evicted_pos` is out of range, or when the orphan count does not
+    /// divide evenly over the survivors (the dispatch AlltoAll needs a
+    /// uniform placement).
+    pub fn after_eviction(&self, evicted_pos: usize) -> Result<ExpertMap> {
+        let n = self.n_ep();
+        if evicted_pos >= n {
+            return Err(MoeError::BadConfig {
+                field: "evicted_pos",
+                reason: format!("position {evicted_pos} out of range for {n} EP positions"),
+            });
+        }
+        if n == 1 {
+            return Err(MoeError::BadConfig {
+                field: "evicted_pos",
+                reason: "cannot evict the last EP position".into(),
+            });
+        }
+        let survivors = n - 1;
+        let mut orphans: Vec<usize> = self.experts_on[evicted_pos].clone();
+        orphans.sort_unstable();
+        if !orphans.len().is_multiple_of(survivors) {
+            return Err(MoeError::BadConfig {
+                field: "expert_map",
+                reason: format!(
+                    "{} orphaned experts do not deal evenly over {survivors} survivors",
+                    orphans.len()
+                ),
+            });
+        }
+        let mut lists: Vec<Vec<usize>> = self
+            .experts_on
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| p != evicted_pos)
+            .map(|(_, list)| list.clone())
+            .collect();
+        for (i, e) in orphans.into_iter().enumerate() {
+            lists[i % survivors].push(e);
+        }
+        Self::from_lists(lists)
+    }
+}
+
+/// A re-sharding plan: the new placement survivors rebuild under after
+/// an eviction (or any deliberate re-placement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReshardPlan {
+    /// The placement to rebuild under.
+    pub map: ExpertMap,
+}
+
+impl ReshardPlan {
+    /// The deterministic round-robin plan for evicting `evicted_pos`
+    /// from the placement `old`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExpertMap::after_eviction`] failures.
+    pub fn round_robin(old: &ExpertMap, evicted_pos: usize) -> Result<ReshardPlan> {
+        Ok(ReshardPlan {
+            map: old.after_eviction(evicted_pos)?,
+        })
+    }
+
+    /// A plan that installs an explicit placement (same-world remaps,
+    /// used by the placement-invariance tests).
+    pub fn custom(map: ExpertMap) -> ReshardPlan {
+        ReshardPlan { map }
+    }
+}
+
+/// Permutes expert blocks of a dispatch buffer into map layout:
+/// output block `i` is input block `layout[i]` (blocks are `block`
+/// floats each — one expert's `T · M` slot rows).
+pub(crate) fn permute_expert_blocks(data: &[f32], block: usize, layout: &[usize]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(data.len());
+    for &e in layout {
+        out.extend_from_slice(&data[e * block..(e + 1) * block]);
+    }
+    out
+}
+
+/// Inverts [`permute_expert_blocks`]: input block `i` lands at output
+/// block `layout[i]`.
+pub(crate) fn unpermute_expert_blocks(data: &[f32], block: usize, layout: &[usize]) -> Vec<f32> {
+    let mut out = vec![0.0f32; data.len()];
+    for (i, &e) in layout.iter().enumerate() {
+        out[e * block..(e + 1) * block].copy_from_slice(&data[i * block..(i + 1) * block]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_map_is_identity() {
+        let map = ExpertMap::block(6, 3).unwrap();
+        assert!(map.is_block());
+        assert_eq!(map.layout(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(map.experts_on(1), &[2, 3]);
+        assert_eq!(map.position_of(5), 2);
+        assert_eq!(map.experts_per_rank(), 2);
+        assert!(ExpertMap::block(5, 3).is_err());
+    }
+
+    #[test]
+    fn from_lists_validates() {
+        assert!(ExpertMap::from_lists(vec![]).is_err());
+        assert!(ExpertMap::from_lists(vec![vec![0, 1], vec![2]]).is_err());
+        assert!(ExpertMap::from_lists(vec![vec![0, 1], vec![2, 2]]).is_err());
+        assert!(ExpertMap::from_lists(vec![vec![0, 1], vec![2, 9]]).is_err());
+        let map = ExpertMap::from_lists(vec![vec![1, 3], vec![0, 2]]).unwrap();
+        assert!(!map.is_block());
+        assert_eq!(map.position_of(3), 0);
+        assert_eq!(map.layout(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn eviction_is_round_robin_and_deterministic() {
+        // 3 positions × 2 experts; evicting position 1 orphans {2, 3},
+        // dealt round-robin to survivors (old 0, old 2).
+        let map = ExpertMap::block(6, 3).unwrap();
+        let after = map.after_eviction(1).unwrap();
+        assert_eq!(after.n_ep(), 2);
+        assert_eq!(after.experts_on(0), &[0, 1, 2]);
+        assert_eq!(after.experts_on(1), &[4, 5, 3]);
+        assert_eq!(after.position_of(2), 0);
+        assert_eq!(after.position_of(3), 1);
+        // Deterministic: same input, same plan.
+        assert_eq!(after, map.after_eviction(1).unwrap());
+    }
+
+    #[test]
+    fn eviction_rejects_uneven_deals() {
+        // 3 positions × 4 experts: 4 orphans over 2 survivors is fine...
+        let map = ExpertMap::block(12, 3).unwrap();
+        assert!(map.after_eviction(0).is_ok());
+        // ...but 4 positions × 2 experts orphans 2 over 3 survivors.
+        let map = ExpertMap::block(8, 4).unwrap();
+        let err = map.after_eviction(2).unwrap_err();
+        assert!(matches!(err, MoeError::BadConfig { .. }), "{err:?}");
+        // And a 1-position world has nobody left.
+        let map = ExpertMap::block(2, 1).unwrap();
+        assert!(map.after_eviction(0).is_err());
+        assert!(map.after_eviction(7).is_err());
+    }
+
+    #[test]
+    fn permutation_round_trips() {
+        let map = ExpertMap::from_lists(vec![vec![2, 0], vec![3, 1]]).unwrap();
+        let layout = map.layout();
+        let block = 3;
+        let data: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let permuted = permute_expert_blocks(&data, block, &layout);
+        // position 0 of the permuted buffer holds expert 2's block
+        assert_eq!(&permuted[0..3], &[6.0, 7.0, 8.0]);
+        let back = unpermute_expert_blocks(&permuted, block, &layout);
+        assert_eq!(back, data);
+    }
+}

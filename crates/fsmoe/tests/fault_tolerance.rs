@@ -121,8 +121,9 @@ fn strict_policy_propagates_instead_of_dropping() {
         let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
         layer.set_fault_policy(FaultPolicy {
             max_retries: 1,
-            backoff: Duration::from_millis(1),
+            base_backoff: Duration::from_millis(1),
             drop_on_failure: false,
+            ..FaultPolicy::default()
         });
         let x = input_block(&cfg, comm.rank());
         let mut rng = TensorRng::seed_from(0);
@@ -177,8 +178,9 @@ fn straggler_beyond_retry_budget_degrades_then_realigns() {
         let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
         layer.set_fault_policy(FaultPolicy {
             max_retries: 1,
-            backoff: Duration::from_millis(5),
+            base_backoff: Duration::from_millis(5),
             drop_on_failure: true,
+            ..FaultPolicy::default()
         });
         let x = input_block(&cfg, comm.rank());
         let mut rng = TensorRng::seed_from(0);
@@ -189,8 +191,9 @@ fn straggler_beyond_retry_budget_degrades_then_realigns() {
         barrier.wait();
         layer.set_fault_policy(FaultPolicy {
             max_retries: 30,
-            backoff: Duration::from_millis(5),
+            base_backoff: Duration::from_millis(5),
             drop_on_failure: true,
+            ..FaultPolicy::default()
         });
         let second = layer.forward(&x, &mut rng).unwrap();
         (first, drops_after_first, second, layer.dropped_tokens())

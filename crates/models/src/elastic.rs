@@ -1,0 +1,414 @@
+//! Elastic training: surviving *permanent* rank loss.
+//!
+//! [`RecoveryDriver`](crate::recovery::RecoveryDriver) rolls a
+//! single-process layer back to a snapshot; [`ElasticTrainer`] goes
+//! further and keeps a *distributed* run alive when a rank dies for
+//! good. On a blamable step failure it drives the full elastic
+//! pipeline:
+//!
+//! 1. **blame** — classify the fault onto a dead peer
+//!    ([`CommError::RankDown`] names it; timeouts and abandoned ops are
+//!    pinned on any peer already known dead);
+//! 2. **evict** — survivors agree via
+//!    [`Communicator::propose_evict`], which bumps the membership epoch
+//!    and fences the old world;
+//! 3. **reconfigure** — each survivor rebinds into the shrunken world
+//!    ([`Communicator::reconfigured`]) with contiguous ranks;
+//! 4. **re-shard** — the dead rank's experts are dealt round-robin
+//!    across the survivors ([`ReshardPlan::round_robin`]) and every
+//!    survivor restores its (new) expert set from the last snapshot;
+//! 5. **resume** — routing RNG and step counter roll back to the
+//!    snapshot and training continues on the smaller world.
+//!
+//! The property that makes this trustworthy (pinned by the elastic
+//! tests): a 4-rank run that permanently loses a rank finishes with
+//! weights **bit-identical** to a fresh 3-rank run started from the
+//! same snapshot. Expert placement is pure data movement, so the
+//! survivors' answer is *the* answer.
+//!
+//! Snapshots are collective ([`DistMoeLayer::checkpoint_global`]): all
+//! ranks assemble the full expert set, so any survivor subset can
+//! restore any expert. Rank 0 also persists each snapshot to disk when
+//! a checkpoint directory is configured; recovery prefers the on-disk
+//! copy (the restart path) but falls back to the in-memory snapshot —
+//! with a typed error recorded, never a panic or silent zero weights —
+//! when the file is truncated, NaN-bearing, or disagrees with memory.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use collectives::{CommError, Communicator, HybridTopology, ParallelDims};
+use fsmoe::checkpoint::LayerCheckpoint;
+use fsmoe::config::MoeConfig;
+use fsmoe::dist::{DistMoeLayer, FaultPolicy};
+use fsmoe::reshard::ReshardPlan;
+use fsmoe::{MoeError, Result};
+use tensor::{Tensor, TensorRng};
+
+use crate::train::dist_train_step;
+
+/// The flat elastic topology: one node, `n` GPUs, pure expert+data
+/// parallelism (`ep == dp == n`, no MP or ESP sharding). EP position
+/// equals rank, which is what lets an evicted *rank* map directly to an
+/// evicted *expert-parallel position*.
+///
+/// # Errors
+///
+/// Returns an error when `n` is zero.
+pub fn flat_topology(n: usize) -> Result<HybridTopology> {
+    HybridTopology::new(
+        1,
+        n,
+        ParallelDims {
+            dp: n,
+            mp: 1,
+            ep: n,
+            esp: 1,
+        },
+    )
+    .map_err(MoeError::Comm)
+}
+
+/// Knobs for the elastic pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticPolicy {
+    /// Snapshot every this many steps (the rollback granularity).
+    pub snapshot_interval: usize,
+    /// Blamable step failures tolerated before driving an eviction.
+    pub strikes_to_evict: usize,
+    /// How many evictions to survive before giving up and propagating
+    /// the failure.
+    pub max_evictions: usize,
+    /// Deadline for the eviction vote itself (longer than the op
+    /// deadline — survivors may reach the vote at different times).
+    pub vote_deadline: Duration,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        ElasticPolicy {
+            snapshot_interval: 2,
+            strikes_to_evict: 1,
+            max_evictions: 1,
+            vote_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A consistent distributed snapshot: everything exact replay needs.
+#[derive(Debug, Clone)]
+struct ElasticSnapshot {
+    step: usize,
+    checkpoint: LayerCheckpoint,
+    route_rng: TensorRng,
+}
+
+/// A fault-tolerant distributed training loop that survives permanent
+/// rank loss by evict → reconfigure → re-shard → restore → resume.
+#[derive(Debug)]
+pub struct ElasticTrainer {
+    comm: Communicator,
+    layer: DistMoeLayer,
+    policy: ElasticPolicy,
+    route_rng: TensorRng,
+    step: usize,
+    snapshot: ElasticSnapshot,
+    /// Guards against re-snapshotting the step we just rolled back to.
+    last_snapshot_step: usize,
+    checkpoint_dir: Option<PathBuf>,
+    evictions: usize,
+    strikes: usize,
+    last_fallback: Option<MoeError>,
+}
+
+impl ElasticTrainer {
+    /// Builds the distributed layer over the flat topology and takes
+    /// the initial collective snapshot (all ranks must call together).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-construction and snapshot failures.
+    pub fn new(
+        config: &MoeConfig,
+        comm: Communicator,
+        seed: u64,
+        route_rng: TensorRng,
+        policy: ElasticPolicy,
+    ) -> Result<Self> {
+        let topo = flat_topology(comm.world_size())?;
+        let layer = DistMoeLayer::gshard(config, &comm, &topo, seed)?;
+        let checkpoint = layer.checkpoint_global()?;
+        let snapshot = ElasticSnapshot {
+            step: 0,
+            checkpoint,
+            route_rng: route_rng.clone(),
+        };
+        Ok(ElasticTrainer {
+            comm,
+            layer,
+            policy,
+            route_rng,
+            step: 0,
+            snapshot,
+            last_snapshot_step: 0,
+            checkpoint_dir: None,
+            evictions: 0,
+            strikes: 0,
+            last_fallback: None,
+        })
+    }
+
+    /// Builds a trainer that *resumes* from `checkpoint` at `step` —
+    /// the fresh-world half of the bit-identity property: a new, smaller
+    /// world starting from the snapshot a shrunken run rolled back to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-construction and restore failures.
+    pub fn resume(
+        config: &MoeConfig,
+        comm: Communicator,
+        seed: u64,
+        checkpoint: &LayerCheckpoint,
+        route_rng: TensorRng,
+        step: usize,
+        policy: ElasticPolicy,
+    ) -> Result<Self> {
+        let topo = flat_topology(comm.world_size())?;
+        let mut layer = DistMoeLayer::gshard(config, &comm, &topo, seed)?;
+        layer.restore_full(checkpoint)?;
+        let snapshot = ElasticSnapshot {
+            step,
+            checkpoint: checkpoint.clone(),
+            route_rng: route_rng.clone(),
+        };
+        Ok(ElasticTrainer {
+            comm,
+            layer,
+            policy,
+            route_rng,
+            step,
+            snapshot,
+            last_snapshot_step: step,
+            checkpoint_dir: None,
+            evictions: 0,
+            strikes: 0,
+            last_fallback: None,
+        })
+    }
+
+    /// Also persists snapshots to `dir` (rank 0 writes, atomically) and
+    /// prefers the on-disk copy during recovery.
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: PathBuf) -> Self {
+        self.checkpoint_dir = Some(dir);
+        self
+    }
+
+    /// Replaces the layer's AlltoAll retry/degradation policy.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.layer.set_fault_policy(policy);
+    }
+
+    /// The wrapped distributed layer.
+    pub fn layer(&self) -> &DistMoeLayer {
+        &self.layer
+    }
+
+    /// The current communicator (replaced on reconfiguration).
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// Steps completed (rolled back on recovery).
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// The step of the latest snapshot.
+    pub fn last_snapshot_step(&self) -> usize {
+        self.snapshot.step
+    }
+
+    /// Evictions survived so far.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// The routing RNG as of now (cloned; used by the bit-identity
+    /// tests to seed a fresh-world resume).
+    pub fn route_rng(&self) -> TensorRng {
+        self.route_rng.clone()
+    }
+
+    /// Token assignments dropped by graceful degradation — preserved
+    /// across re-sharding, counted exactly once per lost exchange.
+    pub fn dropped_tokens(&self) -> usize {
+        self.layer.dropped_tokens()
+    }
+
+    /// The typed error behind the most recent disk-checkpoint fallback,
+    /// if recovery ever had to distrust the on-disk copy.
+    pub fn last_fallback(&self) -> Option<&MoeError> {
+        self.last_fallback.as_ref()
+    }
+
+    /// Assembles the full layer checkpoint collectively (all live ranks
+    /// must call together).
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective failures.
+    pub fn full_checkpoint(&self) -> Result<LayerCheckpoint> {
+        self.layer.checkpoint_global()
+    }
+
+    fn snapshot_path(&self, step: usize) -> Option<PathBuf> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("elastic-step-{step}.json")))
+    }
+
+    fn maybe_snapshot(&mut self) -> Result<()> {
+        if !self.step.is_multiple_of(self.policy.snapshot_interval)
+            || self.step == self.last_snapshot_step
+        {
+            return Ok(());
+        }
+        let mut span = obs::span("models", "snapshot");
+        span.attr("step", self.step);
+        let checkpoint = self.layer.checkpoint_global()?;
+        if self.comm.rank() == 0 {
+            if let Some(path) = self.snapshot_path(self.step) {
+                checkpoint.save(&path)?;
+            }
+        }
+        self.snapshot = ElasticSnapshot {
+            step: self.step,
+            checkpoint,
+            route_rng: self.route_rng.clone(),
+        };
+        self.last_snapshot_step = self.step;
+        Ok(())
+    }
+
+    /// Pins a step failure on a dead peer, if the fault is the kind a
+    /// dead peer causes. `RankDown` names the culprit directly; a
+    /// timeout, abandoned exchange, poisoned group, or fenced world is
+    /// blamed on any peer already known dead. Everything else (shape
+    /// errors, local faults) is unblamable and propagates.
+    fn blame(&self, err: &MoeError) -> Option<usize> {
+        let comm_err = match err {
+            MoeError::Comm(e) => e,
+            _ => return None,
+        };
+        match comm_err {
+            CommError::RankDown { rank } if *rank != self.comm.rank() => Some(*rank),
+            CommError::Timeout { .. }
+            | CommError::Abandoned { .. }
+            | CommError::Poisoned { .. }
+            | CommError::Reconfigured { .. } => {
+                (0..self.comm.world_size()).find(|&r| r != self.comm.rank() && self.comm.is_dead(r))
+            }
+            _ => None,
+        }
+    }
+
+    /// Loads the recovery checkpoint, preferring the on-disk snapshot.
+    /// A truncated, NaN-bearing, missing, or memory-disagreeing file
+    /// records a typed fallback (and the `elastic.checkpoint_fallbacks`
+    /// counter) and yields the in-memory snapshot instead — recovery
+    /// never panics on a bad file and never restores garbage.
+    fn load_recovery_checkpoint(&mut self) -> LayerCheckpoint {
+        if let Some(path) = self.snapshot_path(self.snapshot.step) {
+            if path.exists() {
+                match LayerCheckpoint::load(&path) {
+                    Ok(ck) if ck == self.snapshot.checkpoint => return ck,
+                    Ok(_) => self.note_fallback(MoeError::CorruptCheckpoint {
+                        reason: format!(
+                            "on-disk snapshot for step {} disagrees with memory",
+                            self.snapshot.step
+                        ),
+                    }),
+                    Err(e) => self.note_fallback(e),
+                }
+            }
+        }
+        self.snapshot.checkpoint.clone()
+    }
+
+    fn note_fallback(&mut self, err: MoeError) {
+        obs::counter_add(obs::names::ELASTIC_CHECKPOINT_FALLBACKS, 1);
+        self.last_fallback = Some(err);
+    }
+
+    /// The full elastic pipeline: evict `victim`, rebind into the
+    /// shrunken world, deal its experts across the survivors, restore
+    /// from the last snapshot, and roll the clock back to it.
+    fn recover_from_eviction(&mut self, victim: usize) -> Result<()> {
+        let mut span = obs::span("models", "elastic.reconfigure");
+        span.attr("victim", victim);
+        span.attr("from_step", self.step);
+        let mut vote_comm = self.comm.clone();
+        vote_comm.set_deadline(Some(self.policy.vote_deadline));
+        let epoch = match vote_comm.propose_evict(victim) {
+            Ok(epoch) => epoch,
+            // Another handle already drove the world past us — rebind.
+            Err(CommError::Reconfigured { epoch }) => epoch,
+            Err(e) => return Err(MoeError::Comm(e)),
+        };
+        let new_comm = self.comm.reconfigured().map_err(MoeError::Comm)?;
+        span.attr("epoch", epoch);
+        span.attr("survivors", new_comm.world_size());
+        // Flat topology: the evicted rank IS the evicted EP position.
+        let plan = ReshardPlan::round_robin(self.layer.expert_map(), victim)?;
+        let checkpoint = self.load_recovery_checkpoint();
+        let topo = flat_topology(new_comm.world_size())?;
+        self.layer.reshard(&plan, &checkpoint, &new_comm, &topo)?;
+        self.comm = new_comm;
+        self.route_rng = self.snapshot.route_rng.clone();
+        self.step = self.snapshot.step;
+        self.last_snapshot_step = self.snapshot.step;
+        self.evictions += 1;
+        self.strikes = 0;
+        Ok(())
+    }
+
+    /// Runs one training step, driving the elastic pipeline when a peer
+    /// is down: retried steps replay from the last snapshot on the
+    /// surviving world, so a returned loss is always a *completed* step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unblamable failures, and blamable ones once the
+    /// eviction budget ([`ElasticPolicy::max_evictions`]) is spent.
+    pub fn train_step(&mut self, input: &Tensor, target: &Tensor, lr: f32) -> Result<f32> {
+        loop {
+            let result = self.maybe_snapshot().and_then(|()| {
+                dist_train_step(&mut self.layer, input, target, lr, &mut self.route_rng)
+            });
+            let err = match result {
+                Ok(loss) => {
+                    self.step += 1;
+                    self.strikes = 0;
+                    return Ok(loss);
+                }
+                Err(e) => e,
+            };
+            let Some(victim) = self.blame(&err) else {
+                return Err(err);
+            };
+            self.strikes += 1;
+            if self.strikes < self.policy.strikes_to_evict {
+                // Under the strike budget: retry the step as-is (the
+                // rollback on eviction erases any RNG drift from failed
+                // attempts).
+                continue;
+            }
+            if self.evictions >= self.policy.max_evictions {
+                return Err(err);
+            }
+            self.recover_from_eviction(victim)?;
+        }
+    }
+}

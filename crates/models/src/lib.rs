@@ -14,6 +14,7 @@
 pub mod attention;
 pub mod block;
 pub mod breakdown;
+pub mod elastic;
 pub mod iteration;
 pub mod layerspec;
 pub mod pipeline;
@@ -21,6 +22,7 @@ pub mod presets;
 pub mod recovery;
 pub mod train;
 
+pub use elastic::{flat_topology, ElasticPolicy, ElasticTrainer};
 pub use iteration::{build_iteration_graph, iteration_time, plan_iteration, IterationPlan};
 pub use layerspec::{attention_backward_time, attention_forward_time, TransformerLayerSpec};
 pub use presets::ModelPreset;

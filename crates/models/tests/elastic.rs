@@ -1,0 +1,257 @@
+//! Elastic-training properties: the headline bit-identity theorem
+//! (survivors of an eviction compute exactly what a fresh smaller world
+//! would) and the multi-seed chaos soak ci.sh runs under a hang
+//! watchdog. Exact obs-counter properties live in `elastic_obs.rs`
+//! (their own process, so concurrent tests cannot pollute counts).
+
+use std::time::Duration;
+
+use collectives::{run_world_within, CommWorld};
+use fsmoe::checkpoint::LayerCheckpoint;
+use fsmoe::config::MoeConfig;
+use models::{ElasticPolicy, ElasticTrainer};
+use tensor::{Tensor, TensorRng};
+
+const SEED: u64 = 33;
+const LR: f32 = 0.1;
+const BUDGET: Duration = Duration::from_secs(120);
+
+fn config(num_experts: usize) -> MoeConfig {
+    MoeConfig::builder()
+        .batch_size(1)
+        .seq_len(6)
+        .embed_dim(8)
+        .hidden_dim(16)
+        .num_experts(num_experts)
+        .top_k(2)
+        .no_drop()
+        .build()
+        .unwrap()
+}
+
+/// Fixed per-(old-)rank training data: the rank's identity, not its
+/// current number, keys the data so a renumbered survivor keeps its own
+/// stream.
+fn rank_data(cfg: &MoeConfig, old_rank: usize) -> (Tensor, Tensor) {
+    let mut rng = TensorRng::seed_from(1000 + old_rank as u64);
+    let x = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
+    let t = rng.normal(&[cfg.tokens(), cfg.embed_dim], 0.0, 1.0);
+    (x, t)
+}
+
+fn route_rng_for(old_rank: usize) -> TensorRng {
+    TensorRng::seed_from(7000 + old_rank as u64)
+}
+
+fn world(n: usize) -> CommWorld {
+    CommWorld::new(n).with_deadline(Duration::from_secs(5))
+}
+
+/// Runs a clean `n`-rank reference for `steps` steps; returns each
+/// rank's (full checkpoint, route RNG) at the end — i.e. the state a
+/// snapshot at `steps` would capture.
+fn reference_state(cfg: &MoeConfig, n: usize, steps: usize) -> Vec<(LayerCheckpoint, TensorRng)> {
+    run_world_within(world(n), BUDGET, {
+        let cfg = cfg.clone();
+        move |comm| {
+            let rank = comm.rank();
+            let mut trainer = ElasticTrainer::new(
+                &cfg,
+                comm,
+                SEED,
+                route_rng_for(rank),
+                ElasticPolicy::default(),
+            )
+            .unwrap();
+            let (x, t) = rank_data(&cfg, rank);
+            while trainer.step() < steps {
+                trainer.train_step(&x, &t, LR).unwrap();
+            }
+            (trainer.full_checkpoint().unwrap(), trainer.route_rng())
+        }
+    })
+}
+
+/// The elastic run: `n` ranks, `victim` dies for good after completing
+/// `die_after` steps, survivors evict + re-shard and run to `total`
+/// steps. Returns per-old-rank (final checkpoint, evictions, epoch) for
+/// survivors, None for the victim.
+fn elastic_run(
+    cfg: &MoeConfig,
+    n: usize,
+    victim: usize,
+    die_after: usize,
+    total: usize,
+) -> Vec<Option<(LayerCheckpoint, usize, u64)>> {
+    run_world_within(world(n), BUDGET, {
+        let cfg = cfg.clone();
+        move |comm| {
+            let rank = comm.rank();
+            let mut trainer = ElasticTrainer::new(
+                &cfg,
+                comm,
+                SEED,
+                route_rng_for(rank),
+                ElasticPolicy::default(),
+            )
+            .unwrap();
+            let (x, t) = rank_data(&cfg, rank);
+            if rank == victim {
+                while trainer.step() < die_after {
+                    trainer.train_step(&x, &t, LR).unwrap();
+                }
+                trainer.comm().declare_dead(rank);
+                return None;
+            }
+            while trainer.step() < total {
+                trainer.train_step(&x, &t, LR).unwrap();
+            }
+            Some((
+                trainer.full_checkpoint().unwrap(),
+                trainer.evictions(),
+                trainer.comm().membership_epoch(),
+            ))
+        }
+    })
+}
+
+/// **Headline property.** A 4-rank run that permanently loses rank 2
+/// after step 5 finishes bit-identical to a fresh 3-rank run started
+/// from the snapshot the survivors rolled back to — with each new rank
+/// resuming the matching old rank's data and RNG stream.
+#[test]
+fn eviction_is_bit_identical_to_fresh_small_world() {
+    // E = 12 so the orphaned 3 experts deal evenly over 3 survivors.
+    let cfg = config(12);
+    let (victim, die_after, total) = (2usize, 5usize, 8usize);
+    // Snapshot cadence 2 ⇒ the survivors roll back to step 4.
+    let snap_step = 4usize;
+
+    let reference = reference_state(&cfg, 4, snap_step);
+    let elastic = elastic_run(&cfg, 4, victim, die_after, total);
+
+    // Fresh small world: survivors' old ranks, renumbered contiguously —
+    // new rank i carries old rank survivors[i]'s data and RNG stream.
+    let survivors: Vec<usize> = (0..4).filter(|&r| r != victim).collect();
+    let fresh = run_world_within(world(3), BUDGET, {
+        let cfg = cfg.clone();
+        let snapshot = reference[0].0.clone();
+        let rngs: Vec<TensorRng> = survivors.iter().map(|&r| reference[r].1.clone()).collect();
+        let survivors = survivors.clone();
+        move |comm| {
+            let old_rank = survivors[comm.rank()];
+            let mut trainer = ElasticTrainer::resume(
+                &cfg,
+                comm.clone(),
+                SEED,
+                &snapshot,
+                rngs[comm.rank()].clone(),
+                snap_step,
+                ElasticPolicy::default(),
+            )
+            .unwrap();
+            let (x, t) = rank_data(&cfg, old_rank);
+            while trainer.step() < total {
+                trainer.train_step(&x, &t, LR).unwrap();
+            }
+            trainer.full_checkpoint().unwrap()
+        }
+    });
+
+    assert!(elastic[victim].is_none());
+    for &old in &survivors {
+        let (ckpt, evictions, epoch) = elastic[old].clone().expect("survivor finished");
+        assert_eq!(evictions, 1);
+        assert_eq!(epoch, 1);
+        assert_eq!(
+            ckpt, fresh[0],
+            "survivor (old rank {old}) diverged from the fresh small world"
+        );
+    }
+    // All fresh-world ranks agree with each other too (collective).
+    assert_eq!(fresh[0], fresh[1]);
+    assert_eq!(fresh[1], fresh[2]);
+}
+
+/// The same property at the smallest interesting scale: 3 ranks losing
+/// rank 1 matches a fresh 2-rank run, with the victim dying on an even
+/// step so the failure surfaces inside the snapshot collective.
+#[test]
+fn eviction_bit_identity_holds_from_snapshot_failure() {
+    // E = 6: divisible by 3 and 2.
+    let cfg = config(6);
+    let (victim, die_after, total) = (1usize, 2usize, 5usize);
+    // Victim dies after step 2; survivors fail in the step-2 snapshot
+    // and roll back to the *initial* snapshot (step 0).
+    let reference = reference_state(&cfg, 3, 0);
+    let elastic = elastic_run(&cfg, 3, victim, die_after, total);
+
+    let survivors: Vec<usize> = (0..3).filter(|&r| r != victim).collect();
+    let fresh = run_world_within(world(2), BUDGET, {
+        let cfg = cfg.clone();
+        let snapshot = reference[0].0.clone();
+        let rngs: Vec<TensorRng> = survivors.iter().map(|&r| reference[r].1.clone()).collect();
+        let survivors = survivors.clone();
+        move |comm| {
+            let old_rank = survivors[comm.rank()];
+            let mut trainer = ElasticTrainer::resume(
+                &cfg,
+                comm.clone(),
+                SEED,
+                &snapshot,
+                rngs[comm.rank()].clone(),
+                0,
+                ElasticPolicy::default(),
+            )
+            .unwrap();
+            let (x, t) = rank_data(&cfg, old_rank);
+            while trainer.step() < total {
+                trainer.train_step(&x, &t, LR).unwrap();
+            }
+            trainer.full_checkpoint().unwrap()
+        }
+    });
+
+    for &old in &survivors {
+        let (ckpt, ..) = elastic[old].clone().expect("survivor finished");
+        assert_eq!(ckpt, fresh[0], "old rank {old} diverged");
+    }
+}
+
+/// Chaos soak: many seeds × world sizes, every run must finish (the
+/// watchdog turns a hang into a panic, which ci.sh distinguishes from
+/// assertion failures by exit code) with one eviction, epoch 1, and all
+/// survivors agreeing on the final weights.
+///
+/// World sizes 6 and 8 join in when `ELASTIC_SOAK_WIDE=1` (the ci.sh
+/// chaos-soak stage sets it).
+#[test]
+fn elastic_chaos_soak() {
+    let mut sizes = vec![2usize, 3, 4];
+    if std::env::var("ELASTIC_SOAK_WIDE").as_deref() == Ok("1") {
+        sizes.extend([6, 8]);
+    }
+    for n in sizes {
+        for seed in 0u64..8 {
+            // E = n(n−1): divisible by both n and n−1, so the round-robin
+            // deal stays uniform after any single eviction.
+            let cfg = config(n * (n - 1));
+            let victim = (seed as usize) % n;
+            let die_after = 1 + (seed as usize % 3);
+            let total = die_after + 3;
+            let results = elastic_run(&cfg, n, victim, die_after, total);
+            let survivors: Vec<_> = results.iter().flatten().collect();
+            assert_eq!(
+                survivors.len(),
+                n - 1,
+                "n={n} seed={seed}: every survivor must finish"
+            );
+            let (first_ckpt, _, _) = survivors[0];
+            for (ckpt, evictions, epoch) in &survivors {
+                assert_eq!(*evictions, 1, "n={n} seed={seed}");
+                assert_eq!(*epoch, 1, "n={n} seed={seed}");
+                assert_eq!(ckpt, first_ckpt, "n={n} seed={seed}: survivors diverged");
+            }
+        }
+    }
+}

@@ -76,6 +76,13 @@ pub mod names {
     pub const COLLECTIVES_FAULTS_INJECTED: &str = "collectives.faults_injected";
     /// Counter: abandoned exchanges skipped via `GroupComm::skip_op`.
     pub const COLLECTIVES_SKIPPED_OPS: &str = "collectives.skipped_ops";
+    /// Counter: completed membership evictions (one per agreed shrink).
+    pub const COLLECTIVES_EVICTIONS: &str = "collectives.evictions";
+    /// Gauge: the current membership epoch (bumped on every eviction).
+    pub const COLLECTIVES_MEMBERSHIP_EPOCH: &str = "collectives.membership_epoch";
+    /// Counter: elastic recoveries that fell back to the in-memory
+    /// snapshot because the on-disk checkpoint was missing or corrupt.
+    pub const ELASTIC_CHECKPOINT_FALLBACKS: &str = "elastic.checkpoint_fallbacks";
     /// Counter: token assignments dropped by degraded MoE forwards.
     pub const MOE_DROPPED_TOKENS: &str = "moe.dropped_tokens";
     /// Counter: degraded forwards that dropped tokens (events, not tokens).

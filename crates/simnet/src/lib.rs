@@ -42,6 +42,7 @@ mod cost;
 mod engine;
 mod error;
 mod gantt;
+mod reconfig;
 mod task;
 mod testbed;
 mod trace;
@@ -50,6 +51,7 @@ pub use cost::{CostModel, OpCosts};
 pub use engine::{Engine, Span, Straggler, Timeline};
 pub use error::SimError;
 pub use gantt::render_gantt;
+pub use reconfig::{add_reconfiguration_tasks, price_reconfiguration, ReconfigCost};
 pub use task::{ResourceId, Task, TaskGraph, TaskId};
 pub use testbed::{Testbed, TestbedKind};
 pub use trace::{timeline_trace, SIMNET_PID};

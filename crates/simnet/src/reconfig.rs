@@ -1,0 +1,129 @@
+//! Pricing a membership reconfiguration event.
+//!
+//! When a rank dies permanently, the runtime pays four sequential
+//! phases before training resumes (the elastic-membership protocol in
+//! DESIGN.md §6): *detect* (the collective deadline must expire before
+//! anyone blames the dead peer), *agree* (the surviving ranks vote the
+//! victim out — an AllReduce-shaped exchange of one vote word), then
+//! *reshard* (the orphaned expert weights move to their new owners via
+//! the AllGather-shaped global checkpoint) and *restore* (every
+//! survivor reloads the rolled-back snapshot). This module prices those
+//! phases with the same α–β models the rest of the simulator uses, so a
+//! schedule search can weigh eviction cost against the cost of limping
+//! along with a degraded world.
+
+use crate::{OpCosts, ResourceId, TaskGraph, TaskId};
+
+/// The per-phase cost breakdown of one reconfiguration, in ms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigCost {
+    /// Time until the failure is detected: the collective deadline.
+    pub detect: f64,
+    /// The eviction vote among survivors (AllReduce of one vote word).
+    pub agree: f64,
+    /// Moving the orphaned experts to their new owners (AllGather).
+    pub reshard: f64,
+    /// Reloading the rolled-back snapshot on every survivor (AllGather).
+    pub restore: f64,
+}
+
+impl ReconfigCost {
+    /// Total stall: the phases are strictly sequential (the vote cannot
+    /// start before detection, the reshard needs the new world, the
+    /// restore needs the new placement).
+    pub fn total(&self) -> f64 {
+        self.detect + self.agree + self.reshard + self.restore
+    }
+}
+
+/// Prices one reconfiguration event.
+///
+/// * `world` — surviving rank count (the vote spans the survivors).
+/// * `deadline_ms` — the collective deadline; detection cannot be
+///   faster than the deadline that declares the victim dead.
+/// * `moved_bytes` — orphaned expert weights that change owner.
+/// * `checkpoint_bytes` — full snapshot each survivor reloads.
+///
+/// The vote exchanges one 8-byte word per survivor.
+pub fn price_reconfiguration(
+    costs: &OpCosts,
+    world: usize,
+    deadline_ms: f64,
+    moved_bytes: f64,
+    checkpoint_bytes: f64,
+) -> ReconfigCost {
+    let world = world.max(1) as f64;
+    ReconfigCost {
+        detect: deadline_ms.max(0.0),
+        agree: costs.all_reduce.time(8.0 * world),
+        reshard: costs.all_gather.time(moved_bytes.max(0.0)),
+        restore: costs.all_gather.time(checkpoint_bytes.max(0.0)),
+    }
+}
+
+/// Appends the reconfiguration as a sequential chain of tasks on
+/// `resource` (the link every phase serialises on), after `deps`.
+/// Returns the final task — schedule the resumed training after it.
+pub fn add_reconfiguration_tasks(
+    graph: &mut TaskGraph,
+    resource: ResourceId,
+    cost: &ReconfigCost,
+    deps: &[TaskId],
+) -> TaskId {
+    let detect = graph.add_task("reconfig.detect", resource, cost.detect, deps);
+    let agree = graph.add_task("reconfig.agree", resource, cost.agree, &[detect]);
+    let reshard = graph.add_task("reconfig.reshard", resource, cost.reshard, &[agree]);
+    graph.add_task("reconfig.restore", resource, cost.restore, &[reshard])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Testbed};
+
+    #[test]
+    fn phases_follow_the_alpha_beta_models() {
+        let costs = Testbed::a().costs;
+        let c = price_reconfiguration(&costs, 4, 50.0, 1e6, 4e6);
+        assert_eq!(c.detect, 50.0);
+        assert_eq!(c.agree, costs.all_reduce.time(32.0));
+        assert_eq!(c.reshard, costs.all_gather.time(1e6));
+        assert_eq!(c.restore, costs.all_gather.time(4e6));
+        assert!((c.total() - (c.detect + c.agree + c.reshard + c.restore)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_every_input() {
+        let costs = Testbed::b().costs;
+        let base = price_reconfiguration(&costs, 4, 50.0, 1e6, 4e6).total();
+        assert!(price_reconfiguration(&costs, 8, 50.0, 1e6, 4e6).total() > base);
+        assert!(price_reconfiguration(&costs, 4, 60.0, 1e6, 4e6).total() > base);
+        assert!(price_reconfiguration(&costs, 4, 50.0, 2e6, 4e6).total() > base);
+        assert!(price_reconfiguration(&costs, 4, 50.0, 1e6, 8e6).total() > base);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp_instead_of_poisoning() {
+        let costs = Testbed::a().costs;
+        let c = price_reconfiguration(&costs, 0, -1.0, -5.0, -5.0);
+        assert_eq!(c.detect, 0.0);
+        // Zero-byte collectives still pay their startup α.
+        assert_eq!(c.agree, costs.all_reduce.time(8.0));
+        assert_eq!(c.reshard, costs.all_gather.alpha);
+        assert!(c.total().is_finite());
+    }
+
+    #[test]
+    fn tasks_extend_the_critical_path_by_exactly_the_total() {
+        let costs = Testbed::a().costs;
+        let cost = price_reconfiguration(&costs, 4, 25.0, 1e6, 4e6);
+        let mut g = TaskGraph::new();
+        let link = g.add_resource("node0.nic");
+        let step = g.add_task("train.step", link, 3.0, &[]);
+        let last = add_reconfiguration_tasks(&mut g, link, &cost, &[step]);
+        let resume = g.add_task("train.resume", link, 3.0, &[last]);
+        let tl = Engine::new().simulate(&g).unwrap();
+        assert!((tl.makespan() - (6.0 + cost.total())).abs() < 1e-9);
+        assert!((tl.span(resume).start - (3.0 + cost.total())).abs() < 1e-9);
+    }
+}

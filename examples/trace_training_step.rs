@@ -61,8 +61,9 @@ fn main() {
         // dropped tokens.
         layer.set_fault_policy(FaultPolicy {
             max_retries: 12,
-            backoff: Duration::from_millis(10),
+            base_backoff: Duration::from_millis(10),
             drop_on_failure: true,
+            ..FaultPolicy::default()
         });
         let mut data_rng = TensorRng::seed_from(500 + comm.rank() as u64);
         let input = data_rng.normal(&[run_cfg.tokens(), run_cfg.embed_dim], 0.0, 1.0);
