@@ -33,6 +33,22 @@ echo "==> chaos suite (default threading)"
 timeout --kill-after=30 300 \
     cargo test -q -p collectives --test chaos --test faults
 
+echo "==> conformance: workspace invariant linter"
+# Static gates: no std::sync locks outside shims/, no unjustified
+# unwrap/expect in the guarded crates, obs names only via the registry,
+# no wildcard arms over CommError where Reconfigured/Abandoned must be
+# distinguished. Non-zero exit on any violation.
+cargo run --release -p analyzer
+
+echo "==> conformance: chaos suite under the lock doctor"
+# Re-run the fault-injection suites with lock-order tracking armed.
+# Every test holds a check_guard, so any potential-deadlock cycle or
+# blocking hazard observed anywhere in the run fails the suite.
+LOCK_DOCTOR=1 timeout --kill-after=30 300 \
+    cargo test -q -p collectives --test chaos --test faults
+LOCK_DOCTOR=1 timeout --kill-after=30 300 \
+    cargo test -q -p models --test lock_doctor
+
 echo "==> elastic recovery smoke: 3-rank run surviving a dead rank"
 # Rank 2 dies permanently after one step; the survivors evict it,
 # re-shard the orphaned experts, roll back to the last snapshot, and

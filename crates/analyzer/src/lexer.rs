@@ -1,0 +1,298 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! lint rules, no syntax tree and no `syn`.
+//!
+//! The rules only need four things done *correctly*: comments must not
+//! produce tokens (so names in docs never trip the registry check),
+//! string literals must be single opaque tokens with accurate line
+//! numbers (the `obs-names` rule keys on them), lifetimes must not be
+//! confused with char literals, and every brace/paren must come through
+//! so rules can balance nesting. Everything else — numbers, operators —
+//! is passed through as single-character punct tokens or dropped.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`match`, `unwrap`, `CommError`, `_`, …).
+    Ident(String),
+    /// A string literal (plain, raw, byte or C), content without quotes.
+    Str(String),
+    /// Any single punctuation character (`.`, `:`, `{`, `(`, `=`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            Tok::Str(_) | Tok::Punct(_) => None,
+        }
+    }
+
+    /// Whether this is punct `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Whether this is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// Tokenizes `src`. Comments (line, nested block, doc) vanish; string
+/// and char literals are swallowed whole; lifetimes are dropped.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (s, ni, nl) = lex_string(&b, i + 1, line);
+                toks.push(Token {
+                    line: start_line,
+                    tok: Tok::Str(s),
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a backslash or a closing
+                // quote two chars on means char literal.
+                if b.get(i + 1) == Some(&'\\') {
+                    // escaped char literal: skip to the closing quote
+                    i += 2;
+                    while i < b.len() && b[i] != '\'' {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 2) == Some(&'\'') {
+                    i += 3; // 'a'
+                } else {
+                    // lifetime: skip the quote and the ident
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                // Raw/byte/C string prefixes: r" r#" b" br" c" cr#" …
+                if matches!(word.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr")
+                    && (b.get(i) == Some(&'"') || (word.contains('r') && b.get(i) == Some(&'#')))
+                {
+                    let start_line = line;
+                    let (s, ni, nl) = if b[i] == '"' && !word.contains('r') {
+                        lex_string(&b, i + 1, line)
+                    } else {
+                        lex_raw_string(&b, i, line)
+                    };
+                    toks.push(Token {
+                        line: start_line,
+                        tok: Tok::Str(s),
+                    });
+                    i = ni;
+                    line = nl;
+                } else {
+                    toks.push(Token {
+                        line,
+                        tok: Tok::Ident(word),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers never consume dots, so `0..n` stays a range.
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            _ => {
+                toks.push(Token {
+                    line,
+                    tok: Tok::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Lexes a plain (escaped) string body starting just past the opening
+/// quote; returns (content, index past closing quote, line).
+fn lex_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut s = String::new();
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                if let Some(&e) = b.get(i + 1) {
+                    s.push(e);
+                    if e == '\n' {
+                        line += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => return (s, i + 1, line),
+            '\n' => {
+                s.push('\n');
+                line += 1;
+                i += 1;
+            }
+            c => {
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, i, line)
+}
+
+/// Lexes a raw string starting at the `#`s or quote (prefix already
+/// consumed); returns (content, index past the closing delimiter, line).
+fn lex_raw_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut s = String::new();
+    while i < b.len() {
+        if b[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if b.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return (s, i + 1 + hashes, line);
+            }
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        s.push(b[i]);
+        i += 1;
+    }
+    (s, i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        let src = "// obs::span(\"x\")\n/* \"y\" /* nested */ */ real";
+        let toks = tokenize(src);
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].is_ident("real"));
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn strings_are_single_tokens_with_lines() {
+        let toks = tokenize("a\n\"two\\\"lines\"\nb");
+        assert_eq!(toks[1].tok, Tok::Str("two\"lines".into()));
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = tokenize(r##"x r#"raw "inner" body"# b"bytes" y"##);
+        assert_eq!(toks[1].tok, Tok::Str("raw \"inner\" body".into()));
+        assert_eq!(toks[2].tok, Tok::Str("bytes".into()));
+        assert!(toks[3].is_ident("y"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        assert_eq!(
+            idents("fn f<'a>(x: &'a str) { let c = 'x'; }"),
+            ["fn", "f", "x", "str", "let", "c"]
+        );
+        let toks = tokenize("'\\n' '_' 'static end");
+        assert_eq!(toks.len(), 1, "{toks:?}");
+        assert!(toks[0].is_ident("end"));
+    }
+
+    #[test]
+    fn numbers_never_eat_range_dots() {
+        let toks = tokenize("0..world_size");
+        assert!(toks[0].is_punct('.'));
+        assert!(toks[1].is_punct('.'));
+        assert!(toks[2].is_ident("world_size"));
+    }
+
+    #[test]
+    fn underscore_is_an_ident() {
+        let toks = tokenize("_ => None");
+        assert!(toks[0].is_ident("_"));
+        assert!(toks[1].is_punct('='));
+        assert!(toks[2].is_punct('>'));
+    }
+}

@@ -1,0 +1,291 @@
+//! Workspace invariant linter — the static half of the concurrency
+//! conformance toolchain (the dynamic half is the lock doctor in
+//! `shims/parking_lot`).
+//!
+//! A source-level lint over the repository's own conventions, built on
+//! a lightweight tokenizer ([`lexer`]) — no `syn`, no dependencies.
+//! `cargo run --release -p analyzer` walks the workspace and exits
+//! non-zero on any violation; ci.sh gates on it. The rule catalog lives
+//! in [`rules`] and DESIGN.md §8:
+//!
+//! * `no-std-sync` — `std::sync::{Mutex,RwLock,Condvar}` outside
+//!   `shims/` (a std lock is invisible to the lock doctor);
+//! * `no-unwrap` — `.unwrap()`/`.expect(` in the guarded distributed
+//!   core (`crates/collectives/src`, `crates/fsmoe/src/dist.rs`);
+//! * `obs-names` — string literals fed straight to obs record calls
+//!   instead of `obs::names` consts;
+//! * `obs-dead-name` — registry consts nothing references;
+//! * `comm-wildcard` — `_ =>` arms in `CommError` matches in the
+//!   crates that must distinguish `Reconfigured`/`Abandoned`;
+//! * `allow-needs-reason` — an allow directive without justification.
+//!
+//! # Allow policy
+//!
+//! `// lint: allow(<rule>) — <reason>` on the line of (or the comment
+//! block immediately above) a flagged expression suppresses that rule
+//! there. The reason is mandatory; `unwrap` is accepted as shorthand
+//! for `no-unwrap` (and likewise for the other `no-` rules).
+
+use std::collections::HashSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::tokenize;
+use rules::{
+    check_comm_wildcard, check_dead_names, check_obs_names, check_std_sync, check_unwrap,
+    ident_set, registry_consts, rules_for, test_regions, RULE_ALLOW_REASON, RULE_OBS_DEAD_NAME,
+};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (`no-unwrap`, `obs-names`, …).
+    pub rule: &'static str,
+    /// Repo-relative path, filled in by the caller that knows it.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Violation {
+    /// A violation with the file left for the walker to fill in.
+    #[must_use]
+    pub fn new(rule: &'static str, line: u32, message: String) -> Self {
+        Violation {
+            rule,
+            file: String::new(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// How a repo-relative path is treated by the rule catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `shims/**` — the shims implement the conventions, no rules.
+    Shim,
+    /// `crates/obs/**` — hosts the registry itself; only the sync ban.
+    ObsCrate,
+    /// `crates/collectives/src/**` — unwrap-guarded distributed core.
+    GuardedSource,
+    /// `crates/fsmoe/src/dist.rs` — unwrap-guarded *and* must
+    /// enumerate `CommError` variants.
+    GuardedCommSource,
+    /// `crates/fsmoe/src/**`, `crates/models/src/**` — must enumerate
+    /// `CommError` variants.
+    CommMatchSource,
+    /// Any other non-test source (src, benches, examples).
+    Source,
+    /// Files under a `tests/` directory.
+    Test,
+}
+
+/// Classifies a repo-relative path (forward slashes).
+#[must_use]
+pub fn classify(rel: &str) -> FileClass {
+    if rel.starts_with("shims/") {
+        FileClass::Shim
+    } else if rel.starts_with("crates/obs/") {
+        FileClass::ObsCrate
+    } else if rel.contains("/tests/") {
+        FileClass::Test
+    } else if rel.starts_with("crates/collectives/src/") {
+        FileClass::GuardedSource
+    } else if rel == "crates/fsmoe/src/dist.rs" {
+        FileClass::GuardedCommSource
+    } else if rel.starts_with("crates/fsmoe/src/") || rel.starts_with("crates/models/src/") {
+        FileClass::CommMatchSource
+    } else {
+        FileClass::Source
+    }
+}
+
+/// A `// lint: allow(<rule>) — <reason>` directive.
+#[derive(Debug)]
+struct AllowDirective {
+    /// The rule key inside the parens (shorthand accepted).
+    key: String,
+    /// The directive's own line.
+    line: u32,
+    /// First following line that is not blank or a pure `//` comment —
+    /// the code line the directive covers.
+    target_line: u32,
+    /// Whether any justification text followed the closing paren.
+    has_reason: bool,
+}
+
+impl AllowDirective {
+    fn suppresses(&self, v: &Violation) -> bool {
+        let matches_rule = v.rule == self.key || v.rule == format!("no-{}", self.key);
+        matches_rule && (self.line..=self.target_line).contains(&v.line)
+    }
+}
+
+/// Scans raw source lines for allow directives (the tokenizer drops
+/// comments, so this is a separate plain-text pass).
+fn allow_directives(src: &str) -> Vec<AllowDirective> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let Some(comment_at) = raw.find("//") else {
+            continue;
+        };
+        let comment = &raw[comment_at + 2..];
+        let Some(marker) = comment.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &comment[marker + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let key = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', ':', '.'])
+            .trim();
+        // The directive covers its own line through the first
+        // following non-comment, non-blank line (so a justification
+        // spanning several comment lines still reaches the code).
+        let mut target = idx;
+        for (j, later) in lines.iter().enumerate().skip(idx + 1) {
+            let t = later.trim();
+            if t.is_empty() || t.starts_with("//") {
+                continue;
+            }
+            target = j;
+            break;
+        }
+        out.push(AllowDirective {
+            key,
+            line: (idx + 1) as u32,
+            target_line: (target + 1) as u32,
+            has_reason: !reason.is_empty(),
+        });
+    }
+    out
+}
+
+/// Lints one file's source, given its repo-relative path. Returns the
+/// violations with `file` filled in, allow directives applied, and
+/// reason-less directives themselves reported.
+#[must_use]
+pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
+    let class = classify(rel);
+    let active = rules_for(class);
+    let directives = allow_directives(src);
+    let mut raw = Vec::new();
+    if !active.is_empty() {
+        let toks = tokenize(src);
+        let tests = test_regions(&toks);
+        for &rule in active {
+            match rule {
+                rules::RULE_STD_SYNC => check_std_sync(&toks, &mut raw),
+                rules::RULE_UNWRAP => check_unwrap(&toks, &tests, &mut raw),
+                rules::RULE_OBS_NAMES => check_obs_names(&toks, &tests, &mut raw),
+                rules::RULE_COMM_WILDCARD => check_comm_wildcard(&toks, &tests, &mut raw),
+                _ => {}
+            }
+        }
+    }
+    let mut out: Vec<Violation> = raw
+        .into_iter()
+        .filter(|v| !directives.iter().any(|d| d.suppresses(v)))
+        .collect();
+    for d in &directives {
+        if !d.has_reason {
+            out.push(Violation::new(
+                RULE_ALLOW_REASON,
+                d.line,
+                format!(
+                    "lint: allow({}) without a reason — write `// lint: allow({}) — <why this is safe>`",
+                    d.key, d.key
+                ),
+            ));
+        }
+    }
+    for v in &mut out {
+        v.file = rel.to_string();
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+/// Collects the workspace's lintable `.rs` files as repo-relative
+/// paths. Walks `crates/`, `shims/` and `examples/`; skips `target/`,
+/// hidden directories, and the analyzer's own violation fixtures.
+#[must_use]
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "examples"] {
+        walk(&root.join(top), root, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" || name == "fixtures" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Lints the whole workspace at `root`: every file through
+/// [`check_file`], plus the registry-level dead-name check.
+#[must_use]
+pub fn run_workspace(root: &Path) -> Vec<Violation> {
+    let files = workspace_files(root);
+    let mut violations = Vec::new();
+    let mut used = HashSet::new();
+    let mut registry: Vec<(String, u32)> = Vec::new();
+    for rel_path in &files {
+        let rel = rel_path.to_string_lossy().replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(root.join(rel_path)) else {
+            continue;
+        };
+        if rel == "crates/obs/src/names.rs" {
+            registry = registry_consts(&tokenize(&src));
+            continue;
+        }
+        used.extend(ident_set(&tokenize(&src)));
+        violations.extend(check_file(&rel, &src));
+    }
+    let mut dead = Vec::new();
+    check_dead_names(&registry, &used, &mut dead);
+    for mut v in dead {
+        debug_assert_eq!(v.rule, RULE_OBS_DEAD_NAME);
+        v.file = "crates/obs/src/names.rs".to_string();
+        violations.push(v);
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    violations
+}

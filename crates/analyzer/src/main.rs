@@ -1,0 +1,34 @@
+//! The ci.sh lint gate: lints the workspace, prints one line per
+//! violation (`RULE file:line message`), exits 1 on any finding.
+//!
+//! Usage: `cargo run --release -p analyzer [workspace-root]`
+//! (default root: the directory two levels above this crate).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .unwrap_or_else(|_| PathBuf::from("."))
+        },
+        PathBuf::from,
+    );
+    let violations = analyzer::run_workspace(&root);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "analyzer: {} files clean",
+            analyzer::workspace_files(&root).len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("analyzer: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: `comm-wildcard` — a wildcard arm in a CommError match.
+
+fn bad(err: &CommError) -> bool {
+    match err {
+        CommError::Timeout { .. } => true,
+        _ => false,
+    }
+}
+
+fn fine_other_enum(x: Option<u32>) -> u32 {
+    match x {
+        Some(v) => v,
+        _ => 0,
+    }
+}
+
+fn fine_nested(err: &MoeError) -> bool {
+    match err {
+        MoeError::Comm(e) => match e {
+            CommError::Reconfigured { .. } => true,
+            CommError::Abandoned { .. } => false,
+            CommError::Timeout { .. } => false,
+        },
+        // the outer match is over MoeError, so its wildcard is fine
+        _ => false,
+    }
+}
+
+fn fine_underscore_in_pattern(err: &CommError) -> bool {
+    match err {
+        CommError::RankDown { rank: _ } => true,
+        CommError::Timeout { .. } => false,
+    }
+}

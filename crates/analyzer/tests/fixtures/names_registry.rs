@@ -1,0 +1,7 @@
+//! Fixture: a miniature `obs::names`-style registry for the
+//! `obs-dead-name` check (used via `registry_consts` directly).
+
+/// Used by the fixture "workspace".
+pub const USED_NAME: &str = "fixture.used";
+/// Nothing references this one.
+pub const DEAD_NAME: &str = "fixture.dead";

@@ -1,0 +1,15 @@
+//! Fixture: `obs-names` — literals fed straight to obs record calls.
+
+fn bad() {
+    let mut s = obs::span("fsmoe", obs::names::SPAN_GATE);
+    s.attr("rank", 0); // attrs are not names; the literal key is fine
+    obs::counter_add("rogue.counter", 1);
+    obs::record_hist(&format!("rogue.{}.hist", 1), 2.0);
+}
+
+fn fine() {
+    let _ = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_GATE);
+    obs::counter_add(obs::names::MOE_DROP_EVENTS, 1);
+    let name = "not a call argument";
+    let _ = name;
+}

@@ -1,0 +1,9 @@
+//! Fixture: `no-std-sync` — a std lock outside shims/.
+use std::sync::Mutex;
+use std::sync::{Arc, Condvar, RwLock};
+
+fn fine() {
+    // std::sync::Mutex in a comment is not a violation
+    let _ = std::sync::atomic::AtomicBool::new(false);
+    let _ = "std::sync::Mutex in a string is not a violation";
+}

@@ -1,0 +1,28 @@
+//! Fixture: `no-unwrap` — naked unwrap/expect in guarded code.
+
+fn bad(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn also_bad(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn justified(x: Option<u32>) -> u32 {
+    // lint: allow(unwrap) — x is Some by construction two lines up.
+    x.unwrap()
+}
+
+fn reasonless(x: Option<u32>) -> u32 {
+    // lint: allow(unwrap)
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+    }
+}

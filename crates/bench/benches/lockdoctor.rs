@@ -1,0 +1,144 @@
+//! Overhead guard for the lock doctor's disabled fast path.
+//!
+//! The contract (DESIGN.md §8) mirrors the obs registry's: with the
+//! doctor off — the default — each `Mutex::lock` adds one relaxed
+//! atomic load and a branch over a raw `std::sync::Mutex`, so the
+//! instrumentation compiled into every workspace lock stays within the
+//! same 2% budget the obs bench enforces, measured the same way:
+//!
+//! * directly: per-acquisition cost of a disabled shim lock minus a raw
+//!   std lock, times the acquisitions one 4-rank collectives workload
+//!   actually makes (counted by an enabled doctor run), as a fraction
+//!   of the workload's wall time;
+//! * for context: the same workload with the doctor enabled (tracking
+//!   is allowed to cost more — it buys the order graph).
+//!
+//! Results go to `BENCH_lockdoctor.json` (override with the first
+//! positional argument). Exits non-zero when the disabled overhead
+//! exceeds 2%.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use collectives::{run_world, CommWorld};
+use jsonio::Json;
+use parking_lot::lock_doctor;
+
+/// Best-of-`runs` wall time of `f`, in milliseconds.
+fn best_of_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+const LOCK_CALLS: usize = 2_000_000;
+const WORKLOAD_RUNS: usize = 5;
+
+/// The measured workload: a 4-rank world doing a mix of collectives —
+/// the lock-heaviest code in the workspace (every op is rendezvous
+/// through a shim mutex + condvar).
+fn collectives_workload() {
+    let world = CommWorld::new(4);
+    run_world(world, |comm| {
+        let group = comm.world_group();
+        let mut x = vec![comm.rank() as f32; 64];
+        for _ in 0..50 {
+            group.all_reduce(&mut x).expect("all_reduce");
+            let _ = group.all_gather(&x).expect("all_gather");
+            group.barrier().expect("barrier");
+        }
+    });
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lockdoctor.json").to_string()
+        });
+
+    assert!(
+        !lock_doctor::is_enabled(),
+        "doctor must start disabled (unset LOCK_DOCTOR)"
+    );
+
+    // Per-acquisition cost: disabled shim lock vs raw std lock. The
+    // difference is the doctor's fast path — one relaxed load + branch.
+    let shim = parking_lot::Mutex::new(0u64);
+    let shim_ns = best_of_ms(3, || {
+        for _ in 0..LOCK_CALLS {
+            *std::hint::black_box(&shim).lock() += 1;
+        }
+    }) * 1e6
+        / LOCK_CALLS as f64;
+    // lint: allow(std-sync) — this IS the raw baseline the shim's
+    // fast-path cost is measured against.
+    let raw = std::sync::Mutex::new(0u64);
+    let raw_ns = best_of_ms(3, || {
+        for _ in 0..LOCK_CALLS {
+            *std::hint::black_box(&raw).lock().expect("unpoisoned") += 1;
+        }
+    }) * 1e6
+        / LOCK_CALLS as f64;
+    let per_lock_ns = (shim_ns - raw_ns).max(0.0);
+
+    // Wall time with the doctor off…
+    let disabled_ms = best_of_ms(WORKLOAD_RUNS, collectives_workload);
+
+    // …how many acquisitions the workload makes (enabled run counts
+    // them), and the enabled wall time for context.
+    lock_doctor::enable();
+    let _ = lock_doctor::take_report();
+    let enabled_ms = best_of_ms(WORKLOAD_RUNS, collectives_workload);
+    let report = lock_doctor::take_report();
+    lock_doctor::disable();
+    let acquisitions = report.acquisitions / WORKLOAD_RUNS as u64;
+    assert!(
+        report.is_clean(),
+        "bench workload tripped the doctor:\n{}",
+        report.render()
+    );
+
+    let disabled_overhead_pct = 100.0 * (acquisitions as f64 * per_lock_ns) / (disabled_ms * 1e6);
+    let enabled_overhead_pct = 100.0 * (enabled_ms - disabled_ms) / disabled_ms;
+
+    println!(
+        "disabled lock: shim {shim_ns:.2} ns, raw std {raw_ns:.2} ns, delta {per_lock_ns:.2} ns"
+    );
+    println!(
+        "workload: {acquisitions} acquisitions/run, {disabled_ms:.3} ms off / {enabled_ms:.3} ms on"
+    );
+    println!("disabled overhead: {disabled_overhead_pct:.4}% (budget 2%)");
+    println!("enabled overhead: {enabled_overhead_pct:.2}%");
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = Json::obj(vec![
+        ("bench", Json::from("lockdoctor")),
+        ("unix_time", Json::from(unix_time as f64)),
+        ("disabled_shim_lock_ns", Json::from(shim_ns)),
+        ("raw_std_lock_ns", Json::from(raw_ns)),
+        ("disabled_delta_ns", Json::from(per_lock_ns)),
+        ("acquisitions_per_run", Json::from(acquisitions as f64)),
+        ("workload_ms_disabled", Json::from(disabled_ms)),
+        ("workload_ms_enabled", Json::from(enabled_ms)),
+        ("disabled_overhead_pct", Json::from(disabled_overhead_pct)),
+        ("enabled_overhead_pct", Json::from(enabled_overhead_pct)),
+        ("budget_pct", Json::from(2.0)),
+    ]);
+    let text = json.to_string().expect("all benchmark numbers are finite");
+    std::fs::write(&out_path, text + "\n").expect("write baseline json");
+    println!("wrote {out_path}");
+
+    assert!(
+        disabled_overhead_pct < 2.0,
+        "disabled lock-doctor instrumentation must cost < 2% of the \
+         collectives workload ({disabled_overhead_pct:.4}%)"
+    );
+}

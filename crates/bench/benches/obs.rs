@@ -65,13 +65,16 @@ fn main() {
     assert!(!obs::is_enabled(), "registry must start disabled");
     let span_ns = best_of_ms(3, || {
         for _ in 0..DISABLED_CALLS {
-            std::hint::black_box(obs::span("bench", "noop"));
+            std::hint::black_box(obs::span(
+                obs::names::CAT_BENCH,
+                obs::names::BENCH_SPAN_NOOP,
+            ));
         }
     }) * 1e6
         / DISABLED_CALLS as f64;
     let hist_ns = best_of_ms(3, || {
         for _ in 0..DISABLED_CALLS {
-            obs::record_hist("bench.noop", std::hint::black_box(1.0));
+            obs::record_hist(obs::names::BENCH_HIST_NOOP, std::hint::black_box(1.0));
         }
     }) * 1e6
         / DISABLED_CALLS as f64;

@@ -45,12 +45,12 @@ enum OpTag {
 impl OpTag {
     fn name(self) -> &'static str {
         match self {
-            OpTag::AllReduce => "all_reduce",
-            OpTag::AllGather => "all_gather",
-            OpTag::ReduceScatter => "reduce_scatter",
-            OpTag::AllToAll => "all_to_all",
-            OpTag::Broadcast => "broadcast",
-            OpTag::Barrier => "barrier",
+            OpTag::AllReduce => obs::names::SPAN_ALL_REDUCE,
+            OpTag::AllGather => obs::names::SPAN_ALL_GATHER,
+            OpTag::ReduceScatter => obs::names::SPAN_REDUCE_SCATTER,
+            OpTag::AllToAll => obs::names::SPAN_ALL_TO_ALL,
+            OpTag::Broadcast => obs::names::SPAN_BROADCAST,
+            OpTag::Barrier => obs::names::SPAN_BARRIER,
         }
     }
 }
@@ -331,7 +331,7 @@ impl GroupComm {
             obs::counter_add(obs::names::COLLECTIVES_RETRIES, 1);
         }
         let bytes = input.len() * std::mem::size_of::<f32>();
-        let span = obs::deferred_span("collectives", tag.name());
+        let span = obs::deferred_span(obs::names::CAT_COLLECTIVES, tag.name());
         match self.run_inner(tag, input, compute) {
             Ok(out) => {
                 let mut span = span;
@@ -494,6 +494,8 @@ impl GroupComm {
             let inputs: Vec<Vec<f32>> = st
                 .inputs
                 .iter_mut()
+                // lint: allow(unwrap) — arrived == n holds here, and
+                // every arrival deposits its input before incrementing.
                 .map(|s| s.take().expect("all inputs deposited"))
                 .collect();
             let outputs = compute(&inputs);
@@ -545,6 +547,9 @@ impl GroupComm {
 
         let out = st.outputs[self.index]
             .take()
+            // lint: allow(unwrap) — the distribution phase is only
+            // entered after compute filled every output slot, and each
+            // slot is taken exactly once (by its own rank).
             .expect("output present in distribution phase");
         self.settle_drain(&mut st);
         // The op completed for this rank: advance its stream position.

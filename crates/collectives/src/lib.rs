@@ -125,6 +125,8 @@ where
         .collect();
     handles
         .into_iter()
+        // lint: allow(unwrap) — test harness: a rank panic must
+        // propagate to the calling test, not become a Result.
         .map(|h| h.join().expect("rank thread panicked"))
         .collect()
 }
@@ -184,6 +186,8 @@ where
     }
     slots
         .into_iter()
+        // lint: allow(unwrap) — the watchdog loop above panics before
+        // this point unless every slot was filled.
         .map(|s| s.expect("all ranks reported"))
         .collect()
 }

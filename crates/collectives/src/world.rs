@@ -399,6 +399,8 @@ impl Communicator {
     pub fn world_group(&self) -> GroupComm {
         let ranks: Vec<usize> = (0..self.world_size).collect();
         self.subgroup(&ranks)
+            // lint: allow(unwrap) — 0..world_size is non-empty,
+            // duplicate-free and contains self.rank by construction.
             .expect("every rank is a member of the world group")
     }
 

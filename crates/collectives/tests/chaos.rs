@@ -36,6 +36,7 @@ proptest! {
         world in 2usize..=8,
         seed in any::<u64>(),
     ) {
+        let _doctor = parking_lot::lock_doctor::check_guard();
         let injector =
             FaultInjector::single_fault_from_seed(seed, world, OPS, MAX_DELAY_MS);
         let events = injector.events();
@@ -88,6 +89,7 @@ proptest! {
 
     #[test]
     fn seeded_schedules_are_reproducible(seed in any::<u64>()) {
+        let _doctor = parking_lot::lock_doctor::check_guard();
         let a = FaultInjector::single_fault_from_seed(seed, 8, OPS, MAX_DELAY_MS);
         let b = FaultInjector::single_fault_from_seed(seed, 8, OPS, MAX_DELAY_MS);
         prop_assert_eq!(a.events(), b.events());

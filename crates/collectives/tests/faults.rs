@@ -13,6 +13,7 @@ const BUDGET: Duration = Duration::from_secs(10);
 
 #[test]
 fn kill_mid_all_to_all_errors_all_survivors_within_deadline() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     let world = CommWorld::new(4)
         .with_deadline(DEADLINE)
         .with_faults(FaultInjector::new().kill(2, 0));
@@ -33,7 +34,7 @@ fn kill_mid_all_to_all_errors_all_survivors_within_deadline() {
         match err {
             CommError::RankDown { rank: dead } => assert_eq!(*dead, 2),
             CommError::Timeout { op, waiting_on } => {
-                assert_eq!(*op, "all_to_all");
+                assert_eq!(*op, obs::names::SPAN_ALL_TO_ALL);
                 assert!(waiting_on.contains(&2), "rank {rank}: {waiting_on:?}");
             }
             other => panic!("rank {rank}: unexpected error {other:?}"),
@@ -43,6 +44,7 @@ fn kill_mid_all_to_all_errors_all_survivors_within_deadline() {
 
 #[test]
 fn killed_rank_stays_dead_for_later_collectives() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     let world = CommWorld::new(2)
         .with_deadline(DEADLINE)
         .with_faults(FaultInjector::new().kill(1, 0));
@@ -64,6 +66,7 @@ fn killed_rank_stays_dead_for_later_collectives() {
 
 #[test]
 fn straggler_within_deadline_still_completes() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     let world = CommWorld::new(3)
         .with_deadline(Duration::from_secs(5))
         .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(50)));
@@ -79,6 +82,7 @@ fn straggler_within_deadline_still_completes() {
 
 #[test]
 fn straggler_beyond_deadline_times_out_peers() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     let world = CommWorld::new(2)
         .with_deadline(Duration::from_millis(100))
         .with_faults(FaultInjector::new().delay(1, 0, Duration::from_millis(400)));
@@ -100,6 +104,7 @@ fn straggler_beyond_deadline_times_out_peers() {
 
 #[test]
 fn timed_out_op_can_be_retried_with_same_payload() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     // Retry semantics the fsmoe layer relies on: a rank that times out
     // withdraws its deposit and re-enters with the *same* payload; a
     // straggling peer that finally arrives joins the retry and the op
@@ -127,6 +132,7 @@ fn timed_out_op_can_be_retried_with_same_payload() {
 
 #[test]
 fn abandoned_op_fails_typed_instead_of_crosswiring() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     // Rank 1 straggles past rank 0's patience on op A (an AlltoAll);
     // rank 0 gives up, skips the op, and issues its *next* collective B
     // on the same group. Without op-stream ids, rank 1's late deposit
@@ -164,7 +170,7 @@ fn abandoned_op_fails_typed_instead_of_crosswiring() {
                     op_id,
                     stream_id,
                 }) => {
-                    assert_eq!(op, "all_to_all");
+                    assert_eq!(op, obs::names::SPAN_ALL_TO_ALL);
                     assert!(stream_id > op_id, "stream {stream_id} vs op {op_id}");
                 }
                 other => panic!("expected Abandoned, got {other:?}"),
@@ -181,6 +187,7 @@ fn abandoned_op_fails_typed_instead_of_crosswiring() {
 
 #[test]
 fn payload_drop_zeroes_contribution() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     let world = CommWorld::new(2).with_faults(FaultInjector::new().drop_payload(1, 0));
     let results = run_world(world, |comm| {
         let g = comm.world_group();
@@ -196,6 +203,7 @@ fn payload_drop_zeroes_contribution() {
 
 #[test]
 fn panicking_rank_poisons_group_for_peers() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     let world = CommWorld::new(2).with_deadline(DEADLINE);
     let comms = world.into_communicators();
     let mut comms = comms.into_iter();
@@ -227,6 +235,7 @@ fn panicking_rank_poisons_group_for_peers() {
 
 #[test]
 fn declare_dead_fails_in_flight_collective() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     let world = CommWorld::new(2).with_deadline(Duration::from_secs(5));
     let comms = world.into_communicators();
     let observer = comms[0].clone();
@@ -247,6 +256,7 @@ fn declare_dead_fails_in_flight_collective() {
 
 #[test]
 fn fault_action_is_inspectable() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
     let inj = FaultInjector::new()
         .kill(0, 1)
         .delay(1, 2, Duration::from_millis(5))

@@ -50,7 +50,7 @@ fn retried_op_records_one_span_and_counts_each_retry() {
     );
 
     let snap = session.snapshot();
-    let spans = snap.spans_named("all_reduce");
+    let spans = snap.spans_named(obs::names::SPAN_ALL_REDUCE);
     assert_eq!(
         spans.len(),
         2,
@@ -103,7 +103,7 @@ fn injected_kill_counts_fault_and_rank_down_without_a_span() {
 
     let snap = session.snapshot();
     assert!(
-        snap.spans_named("all_reduce").is_empty(),
+        snap.spans_named(obs::names::SPAN_ALL_REDUCE).is_empty(),
         "no success, no span"
     );
     assert_eq!(snap.counter(obs::names::COLLECTIVES_FAULTS_INJECTED), 1);

@@ -118,13 +118,22 @@ fn splitmix64(seed: u64) -> u64 {
 }
 
 /// Whether a collective failure is worth retrying/degrading on this
-/// rank. This rank being dead is terminal; so are poisoning and the
-/// structural errors (bad buffers, SPMD violations).
+/// rank. This rank being dead is terminal; so are poisoning, the
+/// structural errors (bad buffers, SPMD violations), and the membership
+/// signals — `Reconfigured`/`EvictConflict` must surface to the elastic
+/// layer, never be retried or papered over by degradation.
 fn recoverable(err: &CommError, self_rank: usize) -> bool {
     match err {
         CommError::Timeout { .. } | CommError::Abandoned { .. } => true,
         CommError::RankDown { rank } => *rank != self_rank,
-        _ => false,
+        CommError::RankOutOfRange { .. }
+        | CommError::InvalidGroup { .. }
+        | CommError::NotAMember { .. }
+        | CommError::BadBufferLength { .. }
+        | CommError::BadParallelism { .. }
+        | CommError::Poisoned { .. }
+        | CommError::Reconfigured { .. }
+        | CommError::EvictConflict { .. } => false,
     }
 }
 
@@ -242,6 +251,8 @@ fn gather_expert_rows(layout: ShardLayout, gathered: &[f32], el: usize) -> Tenso
             out.extend_from_slice(&gathered[row0 * m..(row0 + t) * m]);
         }
     }
+    // lint: allow(unwrap) — out holds exactly (n_esp·n_ep)·t rows of m
+    // elements by construction of the loop above, so the shape matches.
     Tensor::from_vec(out, &[n_esp * n_ep * t, m]).expect("constructed shape")
 }
 
@@ -422,12 +433,12 @@ impl DistMoeLayer {
                 actual: input.dims().to_vec(),
             });
         }
-        let mut fwd_span = obs::span("fsmoe", "moe.forward");
+        let mut fwd_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_MOE_FORWARD);
         fwd_span.attr("rank", self.rank);
         let m = self.config.embed_dim;
         let t = self.config.capacity();
         let routing = {
-            let _s = obs::span("fsmoe", "gate");
+            let _s = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_GATE);
             self.gate.route(input, t, rng)?
         };
         if obs::is_enabled() {
@@ -459,7 +470,7 @@ impl DistMoeLayer {
         // assignments as dropped at most once per forward — losing the
         // same tokens on both legs is still one loss.
         let mut degraded = false;
-        let dispatch_span = obs::span("fsmoe", "dispatch");
+        let dispatch_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_DISPATCH);
         let dispatched = {
             let ctx = DispatchCtx::flat(&self.ep_group);
             a2a_with_policy(
@@ -489,7 +500,7 @@ impl DistMoeLayer {
         let mut shard_out = vec![0.0f32; gathered.len()];
         let layout = self.shard_layout();
         let shards = &self.shards;
-        let compute_span = obs::span("fsmoe", "expert_compute");
+        let compute_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_EXPERT_COMPUTE);
         let results = for_each_expert(self.experts_per_ep, tensor::par::num_threads(), |el| {
             let x = gather_expert_rows(layout, &gathered, el);
             shards[el].forward(&x)
@@ -501,7 +512,7 @@ impl DistMoeLayer {
         }
         drop(compute_span);
 
-        let combine_span = obs::span("fsmoe", "combine");
+        let combine_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_COMBINE);
         // ESP-ReduceScatter: sum shard partials, return our token slice.
         let reduced = self.esp_group.reduce_scatter(&shard_out)?;
 
@@ -557,7 +568,7 @@ impl DistMoeLayer {
     /// Returns [`MoeError::NoForwardState`] before any forward, and
     /// propagates collective faults ([`MoeError::Comm`]).
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<DistMoeGrads> {
-        let mut bwd_span = obs::span("fsmoe", "moe.backward");
+        let mut bwd_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_MOE_BACKWARD);
         bwd_span.attr("rank", self.rank);
         let state = self.state.as_ref().ok_or(MoeError::NoForwardState)?;
         let m = self.config.embed_dim;

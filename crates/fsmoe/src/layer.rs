@@ -220,12 +220,12 @@ impl MoeLayer {
                 actual: input.dims().to_vec(),
             });
         }
-        let _fwd_span = obs::span("fsmoe", "moe.forward");
+        let _fwd_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_MOE_FORWARD);
         let mut input = input.clone();
         self.hooks.before_moe_start(&mut input)?;
 
         let routing = {
-            let _s = obs::span("fsmoe", "gate");
+            let _s = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_GATE);
             self.gate.route(&input, self.config.capacity(), rng)?
         };
         if obs::is_enabled() {
@@ -233,7 +233,7 @@ impl MoeLayer {
                 obs::record_hist(obs::names::MOE_EXPERT_LOAD, load as f64);
             }
         }
-        let dispatch_span = obs::span("fsmoe", "dispatch");
+        let dispatch_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_DISPATCH);
         let mut buffer = self.order.order(&input, &routing)?;
         self.hooks.before_dispatch(&mut buffer, &routing)?;
         // single-process: dispatch is the identity (all experts local)
@@ -246,7 +246,7 @@ impl MoeLayer {
         // independent experts fan out over scoped threads (serial when
         // only one worker is available)
         let experts = &self.experts;
-        let compute_span = obs::span("fsmoe", "expert_compute");
+        let compute_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_EXPERT_COMPUTE);
         let results = for_each_expert(experts.len(), tensor::par::num_threads(), |e| {
             let slice = buffer.slice_rows(e * t, (e + 1) * t)?;
             experts[e].forward(&slice)
@@ -258,7 +258,7 @@ impl MoeLayer {
         }
         drop(compute_span);
 
-        let combine_span = obs::span("fsmoe", "combine");
+        let combine_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_COMBINE);
         self.hooks.before_combine(&mut expert_out, &routing)?;
         self.hooks.after_combine(&mut expert_out, &routing)?;
         let mut output = self.order.inverse(&expert_out, &routing)?;
@@ -279,7 +279,7 @@ impl MoeLayer {
     /// Returns [`MoeError::NoForwardState`] before any forward, or shape
     /// errors when `grad_output` disagrees with the forward output.
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<MoeGrads> {
-        let _bwd_span = obs::span("fsmoe", "moe.backward");
+        let _bwd_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_MOE_BACKWARD);
         let state = self.state.as_ref().ok_or(MoeError::NoForwardState)?;
         let routing = &state.routing;
         let grad_buffer = combine_backward(grad_output, routing)?;

@@ -102,18 +102,18 @@ fn fault_free_distributed_forward_traces_spans_and_load_histogram() {
     let snap = session.snapshot();
     // one span per rank for each forward phase
     for name in [
-        "moe.forward",
+        obs::names::SPAN_MOE_FORWARD,
         "gate",
         "dispatch",
-        "expert_compute",
+        obs::names::SPAN_EXPERT_COMPUTE,
         "combine",
     ] {
         assert_eq!(snap.spans_named(name).len(), 2, "two ranks ran {name}");
     }
     // phases nest inside their rank's moe.forward
-    for outer in snap.spans_named("moe.forward") {
+    for outer in snap.spans_named(obs::names::SPAN_MOE_FORWARD) {
         let end = outer.start_us + outer.dur_us;
-        for inner in snap.spans_named("expert_compute") {
+        for inner in snap.spans_named(obs::names::SPAN_EXPERT_COMPUTE) {
             if inner.tid == outer.tid {
                 assert!(inner.start_us >= outer.start_us && inner.start_us + inner.dur_us <= end);
             }
@@ -130,7 +130,7 @@ fn fault_free_distributed_forward_traces_spans_and_load_histogram() {
         "top-1 no-drop routing assigns every token exactly once per rank"
     );
     // collectives spans carry payload attributes and sit under fsmoe spans
-    let a2a = snap.spans_named("all_to_all");
+    let a2a = snap.spans_named(obs::names::SPAN_ALL_TO_ALL);
     assert_eq!(a2a.len(), 4, "dispatch + combine on each of two ranks");
     for span in a2a {
         assert!(span.attrs.iter().any(|(k, _)| *k == "bytes"));
@@ -150,10 +150,10 @@ fn single_process_layer_traces_the_same_taxonomy() {
 
     let snap = session.snapshot();
     for name in [
-        "moe.forward",
+        obs::names::SPAN_MOE_FORWARD,
         "gate",
         "dispatch",
-        "expert_compute",
+        obs::names::SPAN_EXPERT_COMPUTE,
         "combine",
         "moe.backward",
     ] {

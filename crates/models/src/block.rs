@@ -187,7 +187,7 @@ impl MoeTransformer {
     ///
     /// Propagates block errors.
     pub fn forward(&mut self, x: &Tensor, rng: &mut TensorRng) -> Result<Tensor> {
-        let mut fwd_span = obs::span("models", "model.forward");
+        let mut fwd_span = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_MODEL_FORWARD);
         fwd_span.attr("blocks", self.blocks.len());
         let mut h = x.clone();
         for block in &mut self.blocks {
@@ -209,13 +209,13 @@ impl MoeTransformer {
         lr: f32,
         rng: &mut TensorRng,
     ) -> Result<f32> {
-        let mut step_span = obs::span("models", "train_step");
+        let mut step_span = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_TRAIN_STEP);
         let y = self.forward(x, rng)?;
         let err = y.sub(target)?;
         let loss = err.map(|v| v * v).mean();
         let mut grad = err.scale(2.0 / y.num_elements() as f32);
         {
-            let _bwd = obs::span("models", "model.backward");
+            let _bwd = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_MODEL_BACKWARD);
             for block in self.blocks.iter_mut().rev() {
                 let grads = block.backward(&grad)?;
                 grad = grads.input.clone();

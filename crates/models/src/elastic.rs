@@ -275,7 +275,7 @@ impl ElasticTrainer {
         {
             return Ok(());
         }
-        let mut span = obs::span("models", "snapshot");
+        let mut span = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_SNAPSHOT);
         span.attr("step", self.step);
         let checkpoint = self.layer.checkpoint_global()?;
         if self.comm.rank() == 0 {
@@ -310,7 +310,15 @@ impl ElasticTrainer {
             | CommError::Reconfigured { .. } => {
                 (0..self.comm.world_size()).find(|&r| r != self.comm.rank() && self.comm.is_dead(r))
             }
-            _ => None,
+            // This rank itself is down, a lost eviction race, or a
+            // structural/config error: no peer to blame, propagate.
+            CommError::RankDown { .. }
+            | CommError::EvictConflict { .. }
+            | CommError::RankOutOfRange { .. }
+            | CommError::InvalidGroup { .. }
+            | CommError::NotAMember { .. }
+            | CommError::BadBufferLength { .. }
+            | CommError::BadParallelism { .. } => None,
         }
     }
 
@@ -346,7 +354,7 @@ impl ElasticTrainer {
     /// shrunken world, deal its experts across the survivors, restore
     /// from the last snapshot, and roll the clock back to it.
     fn recover_from_eviction(&mut self, victim: usize) -> Result<()> {
-        let mut span = obs::span("models", "elastic.reconfigure");
+        let mut span = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_ELASTIC_RECONFIGURE);
         span.attr("victim", victim);
         span.attr("from_step", self.step);
         let mut vote_comm = self.comm.clone();

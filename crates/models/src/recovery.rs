@@ -110,7 +110,7 @@ impl RecoveryDriver {
     }
 
     fn take_snapshot(&mut self) -> Result<()> {
-        let mut snap_span = obs::span("models", "snapshot");
+        let mut snap_span = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_SNAPSHOT);
         snap_span.attr("step", self.step);
         let checkpoint = self.layer.checkpoint();
         if let Some(path) = self.snapshot_path(self.step) {
@@ -136,7 +136,7 @@ impl RecoveryDriver {
     /// Propagates layer failures (shape errors, collective faults,
     /// checkpoint I/O).
     pub fn step(&mut self, input: &Tensor, lr: f32) -> Result<Tensor> {
-        let mut step_span = obs::span("models", "train_step");
+        let mut step_span = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_TRAIN_STEP);
         step_span.attr("step", self.step);
         if self.step.is_multiple_of(self.interval) {
             self.take_snapshot()?;
@@ -162,7 +162,7 @@ impl RecoveryDriver {
     /// snapshot exists but is unreadable or corrupt (in-memory recovery
     /// cannot fail).
     pub fn recover(&mut self) -> Result<usize> {
-        let mut recover_span = obs::span("models", "recover");
+        let mut recover_span = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_RECOVER);
         recover_span.attr("to_step", self.snapshot.step);
         let checkpoint = match self.snapshot_path(self.snapshot.step) {
             // Restore from disk when a persisted copy exists — the

@@ -29,14 +29,14 @@ pub fn dist_train_step(
     lr: f32,
     route_rng: &mut TensorRng,
 ) -> Result<f32> {
-    let mut step_span = obs::span("models", "train_step");
+    let mut step_span = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_TRAIN_STEP);
     let y = layer.forward(input, route_rng)?;
     let err = y.sub(target)?;
     let loss = err.map(|v| v * v).mean();
     let grad = err.scale(2.0 / y.num_elements() as f32);
     let grads = layer.backward(&grad)?;
     {
-        let _update = obs::span("models", "update");
+        let _update = obs::span(obs::names::CAT_MODELS, obs::names::SPAN_UPDATE);
         layer.apply_grads(&grads, lr)?;
     }
     step_span.attr("loss", loss);

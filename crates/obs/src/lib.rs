@@ -50,46 +50,17 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
+use parking_lot::{Mutex, MutexGuard};
+
 mod chrome;
+pub mod names;
 mod validate;
 
 pub use chrome::TraceBuilder;
 pub use validate::{validate_trace, TraceStats};
-
-/// Canonical metric names, shared between recorders and tests so the
-/// two sides can never drift apart. DESIGN.md §7 documents each.
-pub mod names {
-    /// Counter: collective ops that failed with a deadline timeout.
-    pub const COLLECTIVES_TIMEOUTS: &str = "collectives.timeouts";
-    /// Counter: re-attempts of an already-attempted op-stream position.
-    pub const COLLECTIVES_RETRIES: &str = "collectives.retries";
-    /// Counter: ops that observed an abandoned rendezvous round.
-    pub const COLLECTIVES_ABANDONED: &str = "collectives.abandoned";
-    /// Counter: ops that failed on a poisoned group.
-    pub const COLLECTIVES_POISONED: &str = "collectives.poisoned";
-    /// Counter: ops that failed fast on a dead peer.
-    pub const COLLECTIVES_RANK_DOWN: &str = "collectives.rank_down";
-    /// Counter: faults the injector delivered (kills, delays, drops).
-    pub const COLLECTIVES_FAULTS_INJECTED: &str = "collectives.faults_injected";
-    /// Counter: abandoned exchanges skipped via `GroupComm::skip_op`.
-    pub const COLLECTIVES_SKIPPED_OPS: &str = "collectives.skipped_ops";
-    /// Counter: completed membership evictions (one per agreed shrink).
-    pub const COLLECTIVES_EVICTIONS: &str = "collectives.evictions";
-    /// Gauge: the current membership epoch (bumped on every eviction).
-    pub const COLLECTIVES_MEMBERSHIP_EPOCH: &str = "collectives.membership_epoch";
-    /// Counter: elastic recoveries that fell back to the in-memory
-    /// snapshot because the on-disk checkpoint was missing or corrupt.
-    pub const ELASTIC_CHECKPOINT_FALLBACKS: &str = "elastic.checkpoint_fallbacks";
-    /// Counter: token assignments dropped by degraded MoE forwards.
-    pub const MOE_DROPPED_TOKENS: &str = "moe.dropped_tokens";
-    /// Counter: degraded forwards that dropped tokens (events, not tokens).
-    pub const MOE_DROP_EVENTS: &str = "moe.drop_events";
-    /// Histogram: per-expert token load, one sample per expert per gate.
-    pub const MOE_EXPERT_LOAD: &str = "moe.expert_load";
-}
 
 // --- registry ---------------------------------------------------------
 
@@ -210,10 +181,7 @@ impl Inner {
 
 fn inner() -> MutexGuard<'static, Inner> {
     static INNER: OnceLock<Mutex<Inner>> = OnceLock::new();
-    INNER
-        .get_or_init(|| Mutex::new(Inner::new()))
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    INNER.get_or_init(|| Mutex::new(Inner::new())).lock()
 }
 
 /// Whether the registry currently records. One relaxed atomic load —
@@ -248,10 +216,8 @@ pub struct Session {
 /// Blocks until any other live session drops.
 #[must_use]
 pub fn session() -> Session {
-    static SESSION_LOCK: Mutex<()> = Mutex::new(());
-    let lock = SESSION_LOCK
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    static SESSION_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = SESSION_LOCK.get_or_init(|| Mutex::new(())).lock();
     reset();
     set_enabled(true);
     Session { _lock: lock }
@@ -428,6 +394,36 @@ pub fn set_gauge(name: &str, value: f64) {
         return;
     }
     inner().gauges.insert(name.to_string(), value);
+}
+
+/// Publishes the lock doctor's current findings as obs metrics
+/// ([`names::LOCKDOCTOR_CYCLES`], [`names::LOCKDOCTOR_HAZARDS`] counters
+/// and the sites/edges/acquisitions gauges) and returns the underlying
+/// structured report for rendering. The counters are deltas against the
+/// doctor's previous publish in this registry epoch, so end-of-run
+/// publishing is idempotent per [`reset`]. Like every record call, the
+/// metric writes are no-ops while the registry is disabled; the report
+/// is returned either way.
+pub fn publish_lock_doctor() -> parking_lot::lock_doctor::Report {
+    let report = parking_lot::lock_doctor::report();
+    if is_enabled() {
+        let prior_cycles = counter_value(names::LOCKDOCTOR_CYCLES);
+        let prior_hazards = counter_value(names::LOCKDOCTOR_HAZARDS);
+        let cycles = report.cycles.len() as u64;
+        let hazards = report.hazards.len() as u64;
+        counter_add(
+            names::LOCKDOCTOR_CYCLES,
+            cycles.saturating_sub(prior_cycles),
+        );
+        counter_add(
+            names::LOCKDOCTOR_HAZARDS,
+            hazards.saturating_sub(prior_hazards),
+        );
+        set_gauge(names::LOCKDOCTOR_SITES, report.sites.len() as f64);
+        set_gauge(names::LOCKDOCTOR_EDGES, report.edges.len() as f64);
+        set_gauge(names::LOCKDOCTOR_ACQUISITIONS, report.acquisitions as f64);
+    }
+    report
 }
 
 // --- snapshot ---------------------------------------------------------

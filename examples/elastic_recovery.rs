@@ -137,7 +137,10 @@ fn main() {
         "one elastic.reconfigure span per survivor",
     );
     for s in &spans {
-        ensure(s.cat == "models", "recovery span lives in the models layer");
+        ensure(
+            s.cat == obs::names::CAT_MODELS,
+            "recovery span lives in the models layer",
+        );
     }
 
     // Export the Chrome trace and re-validate it as CI's checker would.

@@ -101,11 +101,11 @@ fn main() {
             && inner.start_us >= outer.start_us
             && inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us
     };
-    let steps = snap.spans_named("train_step");
+    let steps = snap.spans_named(obs::names::SPAN_TRAIN_STEP);
     ensure(steps.len() == 2, "one train_step span per rank");
     for step in &steps {
         let fwd = snap
-            .spans_named("moe.forward")
+            .spans_named(obs::names::SPAN_MOE_FORWARD)
             .into_iter()
             .find(|s| within(s, step));
         let Some(fwd) = fwd else {
@@ -113,7 +113,9 @@ fn main() {
             return;
         };
         ensure(
-            snap.spans_in("collectives").iter().any(|c| within(c, fwd)),
+            snap.spans_in(obs::names::CAT_COLLECTIVES)
+                .iter()
+                .any(|c| within(c, fwd)),
             "a collective span nests inside fsmoe moe.forward",
         );
     }

@@ -8,20 +8,35 @@
 //! data accessible to other threads (callers that need panic detection
 //! layer their own flag on top, as the collectives crate does with its
 //! group poisoning).
+//!
+//! Because every lock in the workspace flows through this crate, it also
+//! hosts the [`lock_doctor`]: an off-by-default lock-order deadlock
+//! detector (enable with `LOCK_DOCTOR=1`) whose disabled fast path is a
+//! single relaxed atomic load per acquisition.
+
+pub mod lock_doctor;
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::panic::Location;
 use std::time::Duration;
 
 /// A mutex whose `lock` returns the guard directly (no poison `Result`).
 pub struct Mutex<T: ?Sized> {
+    /// Creation site, captured for [`lock_doctor`] attribution. Sits
+    /// before `inner` because `T` may be unsized.
+    site: &'static Location<'static>,
     inner: std::sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new mutex. The caller's location becomes the lock's
+    /// [`lock_doctor`] site id when the doctor is enabled.
+    #[track_caller]
     pub fn new(value: T) -> Self {
+        lock_doctor::init_from_env();
         Mutex {
+            site: Location::caller(),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -37,7 +52,18 @@ impl<T: ?Sized> Mutex<T> {
     /// if a previous holder panicked, the data is handed over as-is,
     /// matching parking_lot semantics.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        // Record the attempt *before* blocking so an ordering that
+        // deadlocks this very run is still captured in the report.
+        let doctor_addr = if lock_doctor::is_enabled() {
+            lock_doctor::on_lock(
+                self.site,
+                std::ptr::addr_of!(self.inner) as *const () as usize,
+            )
+        } else {
+            None
+        };
         MutexGuard {
+            doctor_addr,
             inner: Some(
                 self.inner
                     .lock()
@@ -54,6 +80,7 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 }
 
 impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
     fn default() -> Self {
         Mutex::new(T::default())
     }
@@ -62,6 +89,9 @@ impl<T: Default> Default for Mutex<T> {
 /// Guard for [`Mutex`]. The inner `Option` exists only so
 /// [`Condvar::wait`] can move the std guard out and back.
 pub struct MutexGuard<'a, T: ?Sized> {
+    /// `Some(instance address)` when the acquisition was doctor-tracked;
+    /// release bookkeeping keys on it.
+    doctor_addr: Option<usize>,
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
@@ -78,22 +108,39 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(addr) = self.doctor_addr {
+            lock_doctor::on_unlock(addr);
+        }
+    }
+}
+
 /// A condition variable compatible with [`Mutex`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Condvar {
+    /// Creation site, for [`lock_doctor`] hazard attribution.
+    site: &'static Location<'static>,
     inner: std::sync::Condvar,
 }
 
 impl Condvar {
-    /// Creates a new condition variable.
+    /// Creates a new condition variable. The caller's location becomes
+    /// the condvar's [`lock_doctor`] site id when the doctor is enabled.
+    #[track_caller]
     pub fn new() -> Self {
+        lock_doctor::init_from_env();
         Condvar {
+            site: Location::caller(),
             inner: std::sync::Condvar::new(),
         }
     }
 
     /// Atomically releases the guard's mutex and blocks until notified.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if lock_doctor::is_enabled() {
+            lock_doctor::on_condvar_wait(self.site, guard.doctor_addr, false);
+        }
         let inner = guard.inner.take().expect("guard present");
         guard.inner = Some(
             self.inner
@@ -106,6 +153,9 @@ impl Condvar {
     /// `timeout` elapses. Returns `true` when the wait timed out (mirrors
     /// parking_lot's `WaitTimeoutResult::timed_out`).
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        if lock_doctor::is_enabled() {
+            lock_doctor::on_condvar_wait(self.site, guard.doctor_addr, true);
+        }
         let inner = guard.inner.take().expect("guard present");
         let (inner, result) = self
             .inner
@@ -123,6 +173,13 @@ impl Condvar {
     /// Wakes all blocked waiters.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    #[track_caller]
+    fn default() -> Self {
+        Condvar::new()
     }
 }
 

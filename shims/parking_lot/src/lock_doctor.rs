@@ -1,0 +1,556 @@
+//! Lock-order deadlock detector ("lock doctor") for the workspace's
+//! sync shims.
+//!
+//! Every lock in the workspace flows through this crate's [`Mutex`] and
+//! [`Condvar`](crate::Condvar), which makes them a free instrumentation
+//! point: when the doctor is enabled, each lock acquisition is tagged
+//! with the lock's **creation site** (file:line:column of `Mutex::new`,
+//! captured via `#[track_caller]`), every thread carries its set of
+//! currently held locks, and a global **lock-order graph** accumulates
+//! one directed edge per observed `held-site → acquired-site` pair.
+//!
+//! The doctor reports *potential* hazards, not just manifested ones:
+//!
+//! * **cycles** in the acquisition-order graph — the classic ABBA
+//!   pattern is flagged even when the interleaving that would deadlock
+//!   never occurs in the run;
+//! * **held-across-wait** — a lock held while `wait`/`wait_timeout`-ing
+//!   on a *different* mutex's condvar (this is how a collective's
+//!   deadline wait can extend another lock's hold time unboundedly);
+//! * **reentrant acquisition** — re-locking a mutex instance the thread
+//!   already holds, a guaranteed self-deadlock on `std::sync::Mutex`.
+//!
+//! # Cost model
+//!
+//! Off by default. The fast path of every `lock()` / `wait*()` is one
+//! relaxed atomic load and a branch (mirroring the `obs` registry's 2%
+//! budget discipline; `cargo bench -p bench --bench lockdoctor` holds
+//! the disabled overhead under that budget). Enable with the
+//! `LOCK_DOCTOR=1` environment variable (read once, at the first lock
+//! or condvar construction) or programmatically with [`enable`].
+//!
+//! # Reporting
+//!
+//! [`report`] snapshots a structured [`Report`] (sites, edges, cycles,
+//! hazards, acquisition counts); [`Report::render`] formats the
+//! end-of-run text with both sides' site ids and the acquiring
+//! threads' held-lock context. [`check_guard`] packages the CI
+//! discipline: an RAII guard that panics with the rendered report if
+//! any cycle or hazard was recorded by guard drop — the chaos suites
+//! hold one per test under `LOCK_DOCTOR=1`.
+//!
+//! Aggregation is by creation site, not instance: two mutexes created
+//! by the same `Mutex::new` line share a site id, so an order cycle
+//! between instances of one site (e.g. two group locks from a
+//! registry) is reported as a single-site cycle.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock, PoisonError};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Locks currently held by this thread: `(instance address, site)`.
+    static HELD: RefCell<Vec<(usize, u32)>> = const { RefCell::new(Vec::new()) };
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Reads `LOCK_DOCTOR` once and arms the doctor when it is `1`, `true`
+/// or `on`. Called from `Mutex::new` / `Condvar::new` (the cold path),
+/// so processes started with the variable set are tracked from their
+/// very first lock.
+pub(crate) fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        let on = std::env::var("LOCK_DOCTOR")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on"))
+            .unwrap_or(false);
+        if on {
+            ENABLED.store(true, Ordering::SeqCst);
+        }
+    });
+}
+
+/// Whether the doctor is recording. One relaxed load — this is the
+/// entire disabled-path cost of an instrumented `lock()`.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the doctor on (tests use this instead of the env var).
+pub fn enable() {
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns the doctor off. Held-set bookkeeping for guards acquired
+/// while enabled still unwinds correctly.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+fn current_tid() -> u64 {
+    TID.with(|cell| {
+        let mut tid = cell.get();
+        if tid == 0 {
+            tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            cell.set(tid);
+        }
+        tid
+    })
+}
+
+/// What a creation site constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A [`crate::Mutex`].
+    Mutex,
+    /// A [`crate::Condvar`].
+    Condvar,
+}
+
+/// One `Mutex::new` / `Condvar::new` call site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Dense site id, the node id used by edges, cycles and hazards.
+    pub id: u32,
+    /// Mutex or condvar.
+    pub kind: SiteKind,
+    /// Source file of the creation site.
+    pub file: &'static str,
+    /// 1-based line of the creation site.
+    pub line: u32,
+    /// 1-based column of the creation site.
+    pub column: u32,
+}
+
+impl Site {
+    /// `file:line:column`, the human-readable site label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.column)
+    }
+}
+
+/// One observed `held-site → acquired-site` ordering.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Site held when the acquisition happened.
+    pub from: u32,
+    /// Site being acquired.
+    pub to: u32,
+    /// Doctor-local id of the first thread that recorded the edge.
+    pub thread: u64,
+    /// The acquiring thread's full held-lock context (site ids, outermost
+    /// first) at first observation — the "acquisition stack".
+    pub held: Vec<u32>,
+    /// How many times this ordering was observed.
+    pub count: u64,
+}
+
+/// A cycle in the acquisition-order graph: a potential deadlock.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    /// The sites on the cycle, in edge order (the last wraps to the
+    /// first). A single-site cycle means two instances of one creation
+    /// site were nested.
+    pub sites: Vec<u32>,
+    /// The observed edges composing the cycle, each with its acquiring
+    /// thread and held-lock context.
+    pub edges: Vec<Edge>,
+}
+
+/// A blocking hazard that is dangerous even without a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardKind {
+    /// A lock was held while waiting on a different mutex's condvar.
+    /// `timed` distinguishes `wait_for` (deadline-bounded waits, e.g.
+    /// the collectives' deadline polls) from an unbounded `wait`.
+    HeldAcrossCondvarWait {
+        /// Whether the wait was `wait_for` (bounded) rather than `wait`.
+        timed: bool,
+    },
+    /// A mutex instance was re-locked by the thread already holding it —
+    /// a guaranteed self-deadlock on `std::sync::Mutex`.
+    ReentrantAcquisition,
+}
+
+/// One recorded blocking hazard.
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    /// What kind of hazard.
+    pub kind: HazardKind,
+    /// The held lock's site.
+    pub held: u32,
+    /// The condvar waited on (condvar hazards only).
+    pub condvar: Option<u32>,
+    /// The mutex being waited with / re-acquired.
+    pub mutex: u32,
+    /// Doctor-local id of the offending thread.
+    pub thread: u64,
+}
+
+/// A structured end-of-run snapshot of everything the doctor saw.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All creation sites, indexed by site id.
+    pub sites: Vec<Site>,
+    /// All observed acquisition-order edges.
+    pub edges: Vec<Edge>,
+    /// Cycles (potential deadlocks), deduplicated by node set.
+    pub cycles: Vec<Cycle>,
+    /// Blocking hazards, deduplicated by (kind, sites).
+    pub hazards: Vec<Hazard>,
+    /// Total instrumented lock acquisitions.
+    pub acquisitions: u64,
+}
+
+impl Report {
+    /// No cycles and no hazards.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.cycles.is_empty() && self.hazards.is_empty()
+    }
+
+    fn label(&self, id: u32) -> String {
+        self.sites
+            .get(id as usize)
+            .map(|s| format!("site#{id} ({})", s.label()))
+            .unwrap_or_else(|| format!("site#{id} (<unknown>)"))
+    }
+
+    /// The structured end-of-run text: summary line, then one block per
+    /// cycle (with both acquisition contexts) and per hazard.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "lock doctor: {} sites, {} edges, {} acquisitions, {} cycles, {} hazards",
+            self.sites.len(),
+            self.edges.len(),
+            self.acquisitions,
+            self.cycles.len(),
+            self.hazards.len(),
+        );
+        for (i, cycle) in self.cycles.iter().enumerate() {
+            let path: Vec<String> = cycle.sites.iter().map(|&s| self.label(s)).collect();
+            let _ = writeln!(
+                out,
+                "cycle {}: {} -> (wraps to first)",
+                i + 1,
+                path.join(" -> ")
+            );
+            for e in &cycle.edges {
+                let held: Vec<String> = e.held.iter().map(|&s| self.label(s)).collect();
+                let _ = writeln!(
+                    out,
+                    "  edge {} -> {}: thread {}, seen {}x, held [{}]",
+                    self.label(e.from),
+                    self.label(e.to),
+                    e.thread,
+                    e.count,
+                    held.join(", ")
+                );
+            }
+        }
+        for (i, h) in self.hazards.iter().enumerate() {
+            match h.kind {
+                HazardKind::HeldAcrossCondvarWait { timed } => {
+                    let _ = writeln!(
+                        out,
+                        "hazard {}: {} held across {} on condvar {} (guarding {}), thread {}",
+                        i + 1,
+                        self.label(h.held),
+                        if timed { "wait_for" } else { "wait" },
+                        h.condvar.map(|c| self.label(c)).unwrap_or_default(),
+                        self.label(h.mutex),
+                        h.thread
+                    );
+                }
+                HazardKind::ReentrantAcquisition => {
+                    let _ = writeln!(
+                        out,
+                        "hazard {}: reentrant acquisition of {} (self-deadlock), thread {}",
+                        i + 1,
+                        self.label(h.held),
+                        h.thread
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct State {
+    sites: Vec<Site>,
+    ids: HashMap<(&'static str, u32, u32, bool), u32>,
+    edges: HashMap<(u32, u32), Edge>,
+    adj: HashMap<u32, Vec<u32>>,
+    cycles: Vec<Cycle>,
+    cycle_keys: HashSet<Vec<u32>>,
+    hazards: Vec<Hazard>,
+    hazard_keys: HashSet<(u8, u32, u32, u32)>,
+    acquisitions: u64,
+}
+
+impl State {
+    fn intern(&mut self, loc: &'static Location<'static>, kind: SiteKind) -> u32 {
+        let key = (
+            loc.file(),
+            loc.line(),
+            loc.column(),
+            matches!(kind, SiteKind::Condvar),
+        );
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.sites.len() as u32;
+        self.sites.push(Site {
+            id,
+            kind,
+            file: loc.file(),
+            line: loc.line(),
+            column: loc.column(),
+        });
+        self.ids.insert(key, id);
+        id
+    }
+
+    fn record_hazard(&mut self, kind: HazardKind, held: u32, condvar: Option<u32>, mutex: u32) {
+        let code = match kind {
+            HazardKind::HeldAcrossCondvarWait { timed: false } => 0,
+            HazardKind::HeldAcrossCondvarWait { timed: true } => 1,
+            HazardKind::ReentrantAcquisition => 2,
+        };
+        if !self
+            .hazard_keys
+            .insert((code, held, condvar.unwrap_or(u32::MAX), mutex))
+        {
+            return;
+        }
+        self.hazards.push(Hazard {
+            kind,
+            held,
+            condvar,
+            mutex,
+            thread: current_tid(),
+        });
+    }
+
+    /// Any path `from → … → to` in the current order graph, in node
+    /// order (depth-first; the graph is small — tens of sites).
+    fn path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut stack = vec![(from, vec![from])];
+        let mut visited = HashSet::new();
+        visited.insert(from);
+        while let Some((node, path)) = stack.pop() {
+            if node == to {
+                return Some(path);
+            }
+            if let Some(nexts) = self.adj.get(&node) {
+                for &n in nexts {
+                    if visited.insert(n) {
+                        let mut p = path.clone();
+                        p.push(n);
+                        stack.push((n, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32, held: &[u32]) {
+        if let Some(edge) = self.edges.get_mut(&(from, to)) {
+            edge.count += 1;
+            return;
+        }
+        self.edges.insert(
+            (from, to),
+            Edge {
+                from,
+                to,
+                thread: current_tid(),
+                held: held.to_vec(),
+                count: 1,
+            },
+        );
+        self.adj.entry(from).or_default().push(to);
+        // The new edge closes a cycle iff `to` already reached `from`.
+        // A self-edge (two instances of one site nested) is the
+        // degenerate single-site cycle.
+        let cycle_nodes = if from == to {
+            Some(vec![from])
+        } else {
+            self.path(to, from).map(|path| {
+                let mut nodes = vec![from];
+                nodes.extend(path.into_iter().filter(|&n| n != from));
+                nodes
+            })
+        };
+        if let Some(nodes) = cycle_nodes {
+            let mut key = nodes.clone();
+            key.sort_unstable();
+            if self.cycle_keys.insert(key) {
+                let edges = nodes
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &a)| {
+                        let b = nodes[(i + 1) % nodes.len()];
+                        self.edges.get(&(a, b)).cloned()
+                    })
+                    .collect();
+                self.cycles.push(Cycle {
+                    sites: nodes,
+                    edges,
+                });
+            }
+        }
+    }
+}
+
+fn state() -> std::sync::MutexGuard<'static, State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE
+        .get_or_init(|| Mutex::new(State::default()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Records an acquisition attempt of the mutex created at `loc`, living
+/// at `addr`. Called *before* blocking, so an ordering that would
+/// deadlock in this very run is still recorded. Returns the address to
+/// stash in the guard for release bookkeeping.
+pub(crate) fn on_lock(loc: &'static Location<'static>, addr: usize) -> Option<usize> {
+    let held: Vec<(usize, u32)> = HELD.with(|h| h.borrow().clone());
+    let mut st = state();
+    let id = st.intern(loc, SiteKind::Mutex);
+    st.acquisitions += 1;
+    if held.iter().any(|&(a, _)| a == addr) {
+        st.record_hazard(HazardKind::ReentrantAcquisition, id, None, id);
+    }
+    let held_sites: Vec<u32> = held.iter().map(|&(_, s)| s).collect();
+    for &h in &held_sites {
+        st.add_edge(h, id, &held_sites);
+    }
+    drop(st);
+    HELD.with(|h| h.borrow_mut().push((addr, id)));
+    Some(addr)
+}
+
+/// Removes `addr` from the thread's held set (guard drop). Tolerates
+/// addresses the doctor never saw (enabled mid-run) and stale entries
+/// (reset mid-run).
+pub(crate) fn on_unlock(addr: usize) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(i) = held.iter().rposition(|&(a, _)| a == addr) {
+            held.remove(i);
+        }
+    });
+}
+
+/// Records a condvar wait: every lock held *besides* the waited mutex
+/// is a held-across-wait hazard. `guard_addr` is `None` when the guard
+/// predates the doctor being enabled — unattributable, so skipped.
+pub(crate) fn on_condvar_wait(
+    loc: &'static Location<'static>,
+    guard_addr: Option<usize>,
+    timed: bool,
+) {
+    let Some(guard_addr) = guard_addr else {
+        return;
+    };
+    let held: Vec<(usize, u32)> = HELD.with(|h| h.borrow().clone());
+    let Some(&(_, mutex_site)) = held.iter().find(|&&(a, _)| a == guard_addr) else {
+        return;
+    };
+    let others: Vec<u32> = held
+        .iter()
+        .filter(|&&(a, _)| a != guard_addr)
+        .map(|&(_, s)| s)
+        .collect();
+    if others.is_empty() {
+        return;
+    }
+    let mut st = state();
+    let cv = st.intern(loc, SiteKind::Condvar);
+    for s in others {
+        st.record_hazard(
+            HazardKind::HeldAcrossCondvarWait { timed },
+            s,
+            Some(cv),
+            mutex_site,
+        );
+    }
+}
+
+/// Snapshots the doctor's current state without clearing it.
+#[must_use]
+pub fn report() -> Report {
+    let st = state();
+    let mut edges: Vec<Edge> = st.edges.values().cloned().collect();
+    edges.sort_by_key(|e| (e.from, e.to));
+    Report {
+        sites: st.sites.clone(),
+        edges,
+        cycles: st.cycles.clone(),
+        hazards: st.hazards.clone(),
+        acquisitions: st.acquisitions,
+    }
+}
+
+/// Snapshots and clears the doctor's global state (site table, order
+/// graph, cycles, hazards, counters). Per-thread held sets are left in
+/// place so guards acquired before the reset still release cleanly —
+/// reset between scenarios only when no tracked lock is held.
+pub fn take_report() -> Report {
+    let snapshot = report();
+    *state() = State::default();
+    snapshot
+}
+
+/// Panics with the rendered report when any cycle or hazard has been
+/// recorded.
+///
+/// # Panics
+///
+/// Panics iff the report is not clean.
+pub fn assert_clean() {
+    let r = report();
+    assert!(
+        r.is_clean(),
+        "lock doctor found potential deadlocks/hazards:\n{}",
+        r.render()
+    );
+}
+
+/// RAII conformance check: on drop (outside an unwind), asserts the
+/// doctor saw no cycle and no hazard *if* the doctor is enabled — a
+/// no-op otherwise, so tests can hold one unconditionally and CI's
+/// `LOCK_DOCTOR=1` re-run arms it.
+#[must_use]
+pub fn check_guard() -> CheckGuard {
+    CheckGuard
+}
+
+/// See [`check_guard`].
+#[derive(Debug)]
+pub struct CheckGuard;
+
+impl Drop for CheckGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() && is_enabled() {
+            assert_clean();
+        }
+    }
+}
