@@ -33,6 +33,14 @@ echo "==> chaos suite (default threading)"
 timeout --kill-after=30 300 \
     cargo test -q -p collectives --test chaos --test faults
 
+echo "==> compute-bench gate: packed GEMM GFLOPS floors"
+# The compute harness sweeps explicit thread counts, rewrites
+# BENCH_compute.json, and (like the obs budget bench) asserts its own
+# floor: best-thread-count GFLOPS at dims >= 256 must clear the
+# per-dim minimum baked into the binary, so a microkernel regression
+# fails CI instead of silently shipping slower GEMMs.
+timeout --kill-after=30 300 cargo bench -q -p bench --bench harness
+
 echo "==> conformance: workspace invariant linter"
 # Static gates: no std::sync locks outside shims/, no unjustified
 # unwrap/expect in the guarded crates, obs names only via the registry,

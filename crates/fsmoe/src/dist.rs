@@ -29,6 +29,7 @@ use crate::config::MoeConfig;
 use crate::dispatch::{DispatchCtx, Dispatcher, NcclA2A};
 use crate::expert::{build_expert, for_each_expert, Expert, ExpertState};
 use crate::gate::{GShardGate, Gate};
+use crate::grouped::{self, GroupedState};
 use crate::hooks::{MoeHooks, NoopHooks};
 use crate::order::{combine_backward, order_backward, OrderFn, TutelOrdering};
 use crate::reshard::{permute_expert_blocks, unpermute_expert_blocks, ExpertMap, ReshardPlan};
@@ -182,10 +183,20 @@ pub struct DistMoeGrads {
     pub shards: Vec<Vec<Tensor>>,
 }
 
+/// How the shard compute of a forward pass was executed (the backward
+/// pass must mirror it).
+#[derive(Debug)]
+enum DistCompute {
+    /// One grouped GEMM pass over all local shards ([`crate::grouped`]).
+    Grouped(GroupedState),
+    /// Per-shard loop (custom or heterogeneous experts).
+    PerExpert(Vec<ExpertState>),
+}
+
 #[derive(Debug)]
 struct DistState {
     routing: Routing,
-    shard_states: Vec<ExpertState>,
+    compute: DistCompute,
     gathered_rows: usize,
 }
 
@@ -235,8 +246,23 @@ struct ShardLayout {
     experts_per_ep: usize,
 }
 
-/// Extracts expert `el`'s rows from the gathered buffer layout.
-fn gather_expert_rows(layout: ShardLayout, gathered: &[f32], el: usize) -> Tensor {
+impl ShardLayout {
+    /// Rows each local expert owns in the gathered buffer.
+    fn rows_per_expert(&self) -> usize {
+        self.n_esp * self.n_ep * self.t
+    }
+
+    /// Uniform group offsets for the concatenated per-expert buffer.
+    fn group_offsets(&self) -> Vec<usize> {
+        (0..=self.experts_per_ep)
+            .map(|el| el * self.rows_per_expert())
+            .collect()
+    }
+}
+
+/// Appends expert `el`'s rows from the gathered buffer layout onto
+/// `out` — the dispatch-layout → grouped-layout gather.
+fn gather_expert_rows_into(layout: ShardLayout, gathered: &[f32], el: usize, out: &mut Vec<f32>) {
     let ShardLayout {
         m,
         t,
@@ -244,20 +270,16 @@ fn gather_expert_rows(layout: ShardLayout, gathered: &[f32], el: usize) -> Tenso
         n_ep,
         experts_per_ep,
     } = layout;
-    let mut out = Vec::with_capacity(n_esp * n_ep * t * m);
     for s in 0..n_esp {
         for p in 0..n_ep {
             let row0 = ((s * n_ep + p) * experts_per_ep + el) * t;
             out.extend_from_slice(&gathered[row0 * m..(row0 + t) * m]);
         }
     }
-    // lint: allow(unwrap) — out holds exactly (n_esp·n_ep)·t rows of m
-    // elements by construction of the loop above, so the shape matches.
-    Tensor::from_vec(out, &[n_esp * n_ep * t, m]).expect("constructed shape")
 }
 
 /// Scatters expert `el`'s output rows back into the gathered layout.
-fn scatter_expert_rows(layout: ShardLayout, buffer: &mut [f32], el: usize, rows: &Tensor) {
+fn scatter_expert_rows(layout: ShardLayout, buffer: &mut [f32], el: usize, rows: &[f32]) {
     let ShardLayout {
         m,
         t,
@@ -269,10 +291,21 @@ fn scatter_expert_rows(layout: ShardLayout, buffer: &mut [f32], el: usize, rows:
     for s in 0..n_esp {
         for p in 0..n_ep {
             let row0 = ((s * n_ep + p) * experts_per_ep + el) * t;
-            buffer[row0 * m..(row0 + t) * m].copy_from_slice(&rows.data()[src * m..(src + t) * m]);
+            buffer[row0 * m..(row0 + t) * m].copy_from_slice(&rows[src * m..(src + t) * m]);
             src += t;
         }
     }
+}
+
+/// Gathers every local expert's rows into one concatenated grouped
+/// buffer (`experts_per_ep` uniform groups of `rows_per_expert` rows).
+fn grouped_input(layout: ShardLayout, gathered: &[f32]) -> Result<Tensor> {
+    let rows = layout.experts_per_ep * layout.rows_per_expert();
+    let mut buf = Vec::with_capacity(rows * layout.m);
+    for el in 0..layout.experts_per_ep {
+        gather_expert_rows_into(layout, gathered, el, &mut buf);
+    }
+    Ok(Tensor::from_vec(buf, &[rows, layout.m])?)
 }
 
 impl DistMoeLayer {
@@ -495,20 +528,41 @@ impl DistMoeLayer {
         drop(dispatch_span);
         let gathered_rows = gathered.len() / m;
 
-        // Expert shard computation: local shards are independent, so
-        // they fan out over scoped threads like the single-process layer.
-        let mut shard_out = vec![0.0f32; gathered.len()];
+        // Expert shard computation: all local shards' rows run as one
+        // grouped GEMM pass (uniform groups here — the wire format pads
+        // to capacity — but the kernel is the same dropless grouped
+        // dispatch the single-process layer uses). Experts without a
+        // groupable FFN view fall back to the per-shard loop.
         let layout = self.shard_layout();
-        let shards = &self.shards;
+        let offsets = layout.group_offsets();
         let compute_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_EXPERT_COMPUTE);
-        let results = for_each_expert(self.experts_per_ep, tensor::par::num_threads(), |el| {
-            let x = gather_expert_rows(layout, &gathered, el);
-            shards[el].forward(&x)
-        })?;
-        let mut shard_states = Vec::with_capacity(self.shards.len());
-        for (el, (y, st)) in results.into_iter().enumerate() {
-            scatter_expert_rows(layout, &mut shard_out, el, &y);
-            shard_states.push(st);
+        let x = grouped_input(layout, &gathered)?;
+        let shards = &self.shards;
+        let threads = tensor::par::num_threads();
+        let (y_rows, compute) = match grouped::forward_ffn(shards, &x, &offsets, threads)? {
+            Some((y, st)) => (y, DistCompute::Grouped(st)),
+            None => {
+                let results = for_each_expert(self.experts_per_ep, threads, |el| {
+                    let xe = x.slice_rows(offsets[el], offsets[el + 1])?;
+                    shards[el].forward(&xe)
+                })?;
+                let mut out = Tensor::zeros(x.dims());
+                let mut states = Vec::with_capacity(self.experts_per_ep);
+                for (el, (y, st)) in results.into_iter().enumerate() {
+                    out.data_mut()[offsets[el] * m..offsets[el + 1] * m].copy_from_slice(y.data());
+                    states.push(st);
+                }
+                (out, DistCompute::PerExpert(states))
+            }
+        };
+        let mut shard_out = vec![0.0f32; gathered.len()];
+        for el in 0..self.experts_per_ep {
+            scatter_expert_rows(
+                layout,
+                &mut shard_out,
+                el,
+                &y_rows.data()[offsets[el] * m..offsets[el + 1] * m],
+            );
         }
         drop(compute_span);
 
@@ -548,7 +602,7 @@ impl DistMoeLayer {
         drop(combine_span);
         self.state = Some(DistState {
             routing,
-            shard_states,
+            compute,
             gathered_rows,
         });
         Ok(output)
@@ -597,18 +651,38 @@ impl DistMoeLayer {
         let grad_shard_out = self.esp_group.all_gather(&grad_reduced)?;
         debug_assert_eq!(grad_shard_out.len() / m, state.gathered_rows);
 
-        // Expert shard backward, fanned out like the forward pass.
-        let mut grad_gathered = vec![0.0f32; grad_shard_out.len()];
+        // Expert shard backward: one grouped pass mirroring the forward
+        // (or the per-shard loop when the forward fell back to it).
         let layout = self.shard_layout();
+        let offsets = layout.group_offsets();
+        let gy = grouped_input(layout, &grad_shard_out)?;
         let shards = &self.shards;
-        let results = for_each_expert(self.experts_per_ep, tensor::par::num_threads(), |el| {
-            let gy = gather_expert_rows(layout, &grad_shard_out, el);
-            shards[el].backward(&gy, &state.shard_states[el])
-        })?;
-        let mut shard_grads = Vec::with_capacity(self.shards.len());
-        for (el, grads) in results.into_iter().enumerate() {
-            scatter_expert_rows(layout, &mut grad_gathered, el, &grads.input);
-            shard_grads.push(grads.weights);
+        let threads = tensor::par::num_threads();
+        let (grad_rows, shard_grads) = match &state.compute {
+            DistCompute::Grouped(st) => grouped::backward_ffn(shards, &gy, st, &offsets, threads)?,
+            DistCompute::PerExpert(states) => {
+                let results = for_each_expert(self.experts_per_ep, threads, |el| {
+                    let ge = gy.slice_rows(offsets[el], offsets[el + 1])?;
+                    shards[el].backward(&ge, &states[el])
+                })?;
+                let mut grad_x = Tensor::zeros(gy.dims());
+                let mut grads = Vec::with_capacity(self.experts_per_ep);
+                for (el, g) in results.into_iter().enumerate() {
+                    grad_x.data_mut()[offsets[el] * m..offsets[el + 1] * m]
+                        .copy_from_slice(g.input.data());
+                    grads.push(g.weights);
+                }
+                (grad_x, grads)
+            }
+        };
+        let mut grad_gathered = vec![0.0f32; grad_shard_out.len()];
+        for el in 0..self.experts_per_ep {
+            scatter_expert_rows(
+                layout,
+                &mut grad_gathered,
+                el,
+                &grad_rows.data()[offsets[el] * m..offsets[el + 1] * m],
+            );
         }
 
         // AllGather adjoint: ReduceScatter the input grads back to the

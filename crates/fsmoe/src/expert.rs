@@ -20,6 +20,33 @@ pub struct ExpertState {
     saved: Vec<Tensor>,
 }
 
+/// A borrowed view of an expert's FFN weight matrices, exposed so the
+/// grouped-GEMM dispatch ([`crate::grouped`]) can batch the matching
+/// projection of every expert into one [`Tensor::matmul_grouped`] call
+/// instead of looping expert by expert.
+///
+/// Experts whose compute is not one of these two shapes return `None`
+/// from [`Expert::ffn_weights`] and keep the per-expert fallback path.
+#[derive(Debug, Clone, Copy)]
+pub enum FfnWeights<'a> {
+    /// `y = GeLU(x·w1)·w2`.
+    Gpt {
+        /// `(M, H)` up-projection.
+        w1: &'a Tensor,
+        /// `(H, M)` down-projection.
+        w2: &'a Tensor,
+    },
+    /// `y = (SiLU(x·w1) ⊙ (x·w3))·w2`.
+    Mixtral {
+        /// `(M, H)` gate projection.
+        w1: &'a Tensor,
+        /// `(M, H)` up projection.
+        w3: &'a Tensor,
+        /// `(H, M)` down projection.
+        w2: &'a Tensor,
+    },
+}
+
 /// Gradients produced by an expert's backward pass.
 #[derive(Debug, Clone)]
 pub struct ExpertGrads {
@@ -81,6 +108,19 @@ pub trait Expert: std::fmt::Debug + Send + Sync {
 
     /// Forward FLOPs per input row.
     fn flops_per_row(&self) -> f64;
+
+    /// The expert's weights as a grouped-GEMM-able FFN view, when its
+    /// forward pass is exactly one of the [`FfnWeights`] shapes.
+    ///
+    /// The contract: when this returns `Some`, running the matching
+    /// [`crate::grouped`] formula on those weights must produce the same
+    /// numbers as [`Expert::forward`] (the grouped kernel computes each
+    /// row with the same ascending-`k` GEMM, so "same" is bit-identical
+    /// per row). Custom experts keep the default `None` and are computed
+    /// through the per-expert loop.
+    fn ffn_weights(&self) -> Option<FfnWeights<'_>> {
+        None
+    }
 
     /// Returns the ESP shard `shard` of `num_shards`: a smaller expert
     /// whose outputs are partial sums of the full expert's.
@@ -236,6 +276,13 @@ impl Expert for GptFfn {
         2.0 * (m * h + h * m) as f64
     }
 
+    fn ffn_weights(&self) -> Option<FfnWeights<'_>> {
+        Some(FfnWeights::Gpt {
+            w1: &self.w1,
+            w2: &self.w2,
+        })
+    }
+
     fn shard(&self, shard: usize, num_shards: usize) -> Result<Box<dyn Expert>> {
         let hidden = self.w1.dims()[1];
         let (lo, hi) = shard_range(hidden, shard, num_shards)?;
@@ -344,6 +391,14 @@ impl Expert for MixtralFfn {
     fn flops_per_row(&self) -> f64 {
         let (m, h) = (self.w1.dims()[0], self.w1.dims()[1]);
         2.0 * (3 * m * h) as f64
+    }
+
+    fn ffn_weights(&self) -> Option<FfnWeights<'_>> {
+        Some(FfnWeights::Mixtral {
+            w1: &self.w1,
+            w3: &self.w3,
+            w2: &self.w2,
+        })
     }
 
     fn shard(&self, shard: usize, num_shards: usize) -> Result<Box<dyn Expert>> {

@@ -23,8 +23,9 @@ use tensor::{Tensor, TensorRng};
 use crate::config::MoeConfig;
 use crate::expert::{build_expert, for_each_expert, Expert, ExpertState};
 use crate::gate::{ExpertChoiceGate, GShardGate, Gate, SigmoidGate, SoftMoeGate, XMoeGate};
+use crate::grouped::{self, GroupedState, TokenGroups};
 use crate::hooks::{MoeHooks, NoopHooks};
-use crate::order::{combine_backward, order_backward, OrderFn, TutelOrdering};
+use crate::order::{OrderFn, TutelOrdering};
 use crate::routing::Routing;
 use crate::{MoeError, Result};
 
@@ -37,20 +38,39 @@ pub struct MoeGrads {
     pub experts: Vec<Vec<Tensor>>,
 }
 
+/// How the expert compute of a forward pass was executed (the backward
+/// pass must mirror it).
+#[derive(Debug)]
+enum ComputeState {
+    /// One grouped GEMM pass over all experts ([`crate::grouped`]).
+    Grouped(GroupedState),
+    /// Per-expert loop over variable-size gathered slices (custom or
+    /// heterogeneous experts).
+    PerExpert(Vec<ExpertState>),
+}
+
 #[derive(Debug)]
 struct ForwardState {
     routing: Routing,
-    expert_states: Vec<ExpertState>,
+    groups: TokenGroups,
+    compute: ComputeState,
 }
 
 /// A Mixture-of-Experts layer with swappable sub-modules.
 pub struct MoeLayer {
     config: MoeConfig,
     gate: Box<dyn Gate>,
+    /// The padded `(E·T, M)` ordering reference. The single-process
+    /// compute path is the dropless gathered layout (see
+    /// [`crate::grouped`]), so this is kept for the distributed wire
+    /// format and as the numerical reference implementation.
     order: Box<dyn OrderFn>,
     experts: Vec<Box<dyn Expert>>,
     hooks: Box<dyn MoeHooks>,
     state: Option<ForwardState>,
+    /// Worker-count override for expert compute; `None` uses
+    /// [`tensor::par::num_threads`].
+    compute_threads: Option<usize>,
 }
 
 impl std::fmt::Debug for MoeLayer {
@@ -105,6 +125,7 @@ impl MoeLayer {
             experts,
             hooks,
             state: None,
+            compute_threads: None,
         })
     }
 
@@ -203,6 +224,24 @@ impl MoeLayer {
         &mut self.experts
     }
 
+    /// The ordering implementation installed at construction.
+    pub fn order(&self) -> &dyn OrderFn {
+        self.order.as_ref()
+    }
+
+    /// Overrides the worker count used for expert compute (`None`
+    /// restores the [`tensor::par::num_threads`] default). Results are
+    /// bit-identical for every setting; benchmarks use this to sweep
+    /// thread counts without re-execing the process.
+    pub fn set_compute_threads(&mut self, threads: Option<usize>) {
+        self.compute_threads = threads;
+    }
+
+    fn compute_threads(&self) -> usize {
+        self.compute_threads
+            .unwrap_or_else(tensor::par::num_threads)
+    }
+
     /// The routing decision of the most recent forward pass.
     pub fn last_routing(&self) -> Option<&Routing> {
         self.state.as_ref().map(|s| &s.routing)
@@ -233,41 +272,56 @@ impl MoeLayer {
                 obs::record_hist(obs::names::MOE_EXPERT_LOAD, load as f64);
             }
         }
+        // Dropless dispatch: gather each expert's routed tokens into one
+        // variable-size concatenated buffer — no capacity padding, no
+        // tokens dropped by the compute path.
+        let groups = TokenGroups::from_routing(&routing);
         let dispatch_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_DISPATCH);
-        let mut buffer = self.order.order(&input, &routing)?;
+        let mut buffer = groups.gather(&input)?;
         self.hooks.before_dispatch(&mut buffer, &routing)?;
         // single-process: dispatch is the identity (all experts local)
         self.hooks.after_dispatch(&mut buffer, &routing)?;
         drop(dispatch_span);
 
-        let t = routing.capacity();
         let m = self.config.embed_dim;
-        let mut expert_out = Tensor::zeros(&[routing.num_experts() * t, m]);
-        // independent experts fan out over scoped threads (serial when
-        // only one worker is available)
+        let threads = self.compute_threads();
         let experts = &self.experts;
         let compute_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_EXPERT_COMPUTE);
-        let results = for_each_expert(experts.len(), tensor::par::num_threads(), |e| {
-            let slice = buffer.slice_rows(e * t, (e + 1) * t)?;
-            experts[e].forward(&slice)
-        })?;
-        let mut expert_states = Vec::with_capacity(self.experts.len());
-        for (e, (y, st)) in results.into_iter().enumerate() {
-            expert_out.data_mut()[e * t * m..(e + 1) * t * m].copy_from_slice(y.data());
-            expert_states.push(st);
-        }
+        let (mut expert_out, compute) =
+            match grouped::forward_ffn(experts, &buffer, groups.offsets(), threads)? {
+                Some((y, st)) => (y, ComputeState::Grouped(st)),
+                None => {
+                    // custom/heterogeneous experts: per-expert loop over
+                    // the same gathered slices, fanned out over scoped
+                    // threads
+                    let offsets = groups.offsets();
+                    let results = for_each_expert(experts.len(), threads, |e| {
+                        let slice = buffer.slice_rows(offsets[e], offsets[e + 1])?;
+                        experts[e].forward(&slice)
+                    })?;
+                    let mut out = Tensor::zeros(&[groups.num_rows(), m]);
+                    let mut states = Vec::with_capacity(experts.len());
+                    for (e, (y, st)) in results.into_iter().enumerate() {
+                        out.data_mut()[offsets[e] * m..offsets[e + 1] * m]
+                            .copy_from_slice(y.data());
+                        states.push(st);
+                    }
+                    (out, ComputeState::PerExpert(states))
+                }
+            };
         drop(compute_span);
 
         let combine_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_COMBINE);
         self.hooks.before_combine(&mut expert_out, &routing)?;
         self.hooks.after_combine(&mut expert_out, &routing)?;
-        let mut output = self.order.inverse(&expert_out, &routing)?;
+        let mut output = groups.scatter_combine(&expert_out)?;
         self.hooks.before_moe_end(&mut output)?;
         drop(combine_span);
 
         self.state = Some(ForwardState {
             routing,
-            expert_states,
+            groups,
+            compute,
         });
         Ok(output)
     }
@@ -281,25 +335,36 @@ impl MoeLayer {
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<MoeGrads> {
         let _bwd_span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_MOE_BACKWARD);
         let state = self.state.as_ref().ok_or(MoeError::NoForwardState)?;
-        let routing = &state.routing;
-        let grad_buffer = combine_backward(grad_output, routing)?;
+        let groups = &state.groups;
+        // adjoint of the combine scatter: weighted gather of output grads
+        let grad_rows = groups.gather_weighted(grad_output)?;
 
-        let t = routing.capacity();
         let m = self.config.embed_dim;
-        let mut grad_dispatch = Tensor::zeros(&[routing.num_experts() * t, m]);
+        let threads = self.compute_threads();
         let experts = &self.experts;
-        let results = for_each_expert(experts.len(), tensor::par::num_threads(), |e| {
-            let gslice = grad_buffer.slice_rows(e * t, (e + 1) * t)?;
-            experts[e].backward(&gslice, &state.expert_states[e])
-        })?;
-        let mut expert_grads = Vec::with_capacity(self.experts.len());
-        for (e, grads) in results.into_iter().enumerate() {
-            grad_dispatch.data_mut()[e * t * m..(e + 1) * t * m]
-                .copy_from_slice(grads.input.data());
-            expert_grads.push(grads.weights);
-        }
+        let (grad_dispatch, expert_grads) = match &state.compute {
+            ComputeState::Grouped(st) => {
+                grouped::backward_ffn(experts, &grad_rows, st, groups.offsets(), threads)?
+            }
+            ComputeState::PerExpert(states) => {
+                let offsets = groups.offsets();
+                let results = for_each_expert(experts.len(), threads, |e| {
+                    let gslice = grad_rows.slice_rows(offsets[e], offsets[e + 1])?;
+                    experts[e].backward(&gslice, &states[e])
+                })?;
+                let mut grad_x = Tensor::zeros(&[groups.num_rows(), m]);
+                let mut grads = Vec::with_capacity(experts.len());
+                for (e, g) in results.into_iter().enumerate() {
+                    grad_x.data_mut()[offsets[e] * m..offsets[e + 1] * m]
+                        .copy_from_slice(g.input.data());
+                    grads.push(g.weights);
+                }
+                (grad_x, grads)
+            }
+        };
 
-        let grad_input = order_backward(&grad_dispatch, routing)?;
+        // adjoint of the gather: unweighted scatter-add back to tokens
+        let grad_input = groups.scatter_add(&grad_dispatch)?;
         Ok(MoeGrads {
             input: grad_input,
             experts: expert_grads,

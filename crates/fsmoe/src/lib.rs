@@ -62,6 +62,7 @@ pub mod dispatch;
 pub mod dist;
 pub mod expert;
 pub mod gate;
+pub mod grouped;
 pub mod hooks;
 pub mod layer;
 pub mod order;

@@ -24,6 +24,7 @@
 
 mod error;
 mod init;
+mod kernel;
 mod nn;
 mod ops;
 mod shape;

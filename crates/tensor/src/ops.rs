@@ -1,44 +1,18 @@
-use crate::{par, Result, Tensor, TensorError};
+use crate::{kernel, par, Result, Tensor, TensorError};
 
-/// Rows of the k-dimension processed per tile; a `BLOCK_K × BLOCK_J`
-/// tile of `b` (32 KiB) stays resident in L1 while a band of `a` rows
-/// streams against it.
-const BLOCK_K: usize = 64;
-/// Columns of the output processed per tile.
-const BLOCK_J: usize = 128;
 /// Below this many multiply-adds the scoped-thread fan-out costs more
 /// than it saves, so `matmul` stays on the calling thread.
 const PAR_MIN_MACS: usize = 64 * 64 * 64;
 
-/// Computes `out[band] += a[band,:] × b` for one contiguous row band of
-/// the output, with k/j cache tiling.
-///
-/// Both the serial and the parallel matmul paths run this exact kernel,
-/// and for a fixed output element the `kk` accumulation order is
-/// ascending regardless of tiling or band split — which is what makes
-/// parallel results bit-identical to serial ones.
-fn matmul_band(a: &[f32], b: &[f32], band: &mut [f32], first_row: usize, k: usize, n: usize) {
-    let band_rows = band.len().checked_div(n).unwrap_or(0);
-    for kk0 in (0..k).step_by(BLOCK_K) {
-        let kk1 = (kk0 + BLOCK_K).min(k);
-        for j0 in (0..n).step_by(BLOCK_J) {
-            let j1 = (j0 + BLOCK_J).min(n);
-            for i in 0..band_rows {
-                let arow = &a[(first_row + i) * k..(first_row + i + 1) * k];
-                let orow = &mut band[i * n + j0..i * n + j1];
-                for kk in kk0..kk1 {
-                    let aik = arow[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[kk * n + j0..kk * n + j1];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += aik * bv;
-                    }
-                }
-            }
-        }
+fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
     }
+    Ok((t.dims()[0], t.dims()[1]))
 }
 
 impl Tensor {
@@ -64,32 +38,23 @@ impl Tensor {
     /// [`Tensor::matmul`] with an explicit worker-count cap.
     ///
     /// The output is bit-identical for every `threads` value (including
-    /// 0 and 1, both meaning serial): the same tiled kernel computes
-    /// every row band, and each output element always accumulates its
-    /// `k` products in ascending order, so no floating-point
-    /// reassociation occurs between the serial and parallel paths.
+    /// 0 and 1, both meaning serial): the same packed microkernel
+    /// ([`crate::kernel`]) computes every row band, and each output
+    /// element always accumulates its `k` products in ascending order,
+    /// so no floating-point reassociation occurs between the serial and
+    /// parallel paths.
+    ///
+    /// Every `a[i][k] · b[k][j]` product is computed — there is no
+    /// zero-skip — so non-finite values in **either** operand propagate
+    /// to the output (`0.0 × NaN = NaN`).
     ///
     /// # Errors
     ///
     /// Returns an error unless both operands are rank 2 with matching inner
     /// dimension.
     pub fn matmul_with_threads(&self, rhs: &Tensor, threads: usize) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: self.rank(),
-            });
-        }
-        if rhs.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: rhs.rank(),
-            });
-        }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        let (m, k) = check_matrix(self, "matmul")?;
+        let (k2, n) = check_matrix(rhs, "matmul")?;
         if k != k2 {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -97,17 +62,118 @@ impl Tensor {
                 rhs: rhs.dims().to_vec(),
             });
         }
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        let threads = if m * n * k < PAR_MIN_MACS {
-            1
-        } else {
-            threads.max(1)
-        };
-        par::for_each_row_band(&mut out, m, n, threads, |first_row, band| {
-            matmul_band(a, b, band, first_row, k, n);
-        });
+        if m > 0 && n > 0 && k > 0 {
+            let a = self.data();
+            let bp = kernel::pack_b(rhs.data(), k, n);
+            let threads = if m * n * k < PAR_MIN_MACS {
+                1
+            } else {
+                threads.max(1)
+            };
+            par::for_each_row_band(&mut out, m, n, threads, |first_row, band| {
+                let band_rows = band.len() / n;
+                let mut apack = Vec::new();
+                kernel::gemm_band(a, first_row, &bp, band, band_rows, &mut apack);
+            });
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Grouped GEMM over contiguous row groups of `self`, one weight
+    /// matrix per group: rows `offsets[g] .. offsets[g+1]` of the output
+    /// are `self[offsets[g]..offsets[g+1], :] × weights[g]`.
+    ///
+    /// This is the dropless expert-batch primitive: tokens gathered per
+    /// expert form variable-size groups (empty groups allowed — no
+    /// padding, no capacity drops), and one call computes every expert's
+    /// FFN projection in a single parallel pass over **all** output
+    /// rows, so a skewed expert load no longer serialises on the
+    /// heaviest expert.
+    ///
+    /// Each output row is computed by the same banded microkernel as
+    /// [`Tensor::matmul_with_threads`], so per-group results are
+    /// bit-identical to `self.slice_rows(..)?.matmul(w)` for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `self` is rank 2, every weight is rank 2
+    /// with the same `(k, n)` shape matching `self`'s inner dimension,
+    /// and `offsets` is an ascending list of `weights.len() + 1` row
+    /// offsets starting at 0 and ending at `self`'s row count.
+    pub fn matmul_grouped(
+        &self,
+        weights: &[&Tensor],
+        offsets: &[usize],
+        threads: usize,
+    ) -> Result<Tensor> {
+        let (m, k) = check_matrix(self, "matmul_grouped")?;
+        if weights.is_empty() || offsets.len() != weights.len() + 1 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_grouped",
+                lhs: vec![weights.len()],
+                rhs: vec![offsets.len()],
+            });
+        }
+        let (k2, n) = check_matrix(weights[0], "matmul_grouped")?;
+        for w in weights {
+            let (wk, wn) = check_matrix(w, "matmul_grouped")?;
+            if wk != k2 || wn != n {
+                return Err(TensorError::ShapeMismatch {
+                    op: "matmul_grouped",
+                    lhs: weights[0].dims().to_vec(),
+                    rhs: w.dims().to_vec(),
+                });
+            }
+        }
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_grouped",
+                lhs: self.dims().to_vec(),
+                rhs: weights[0].dims().to_vec(),
+            });
+        }
+        if offsets[0] != 0
+            || offsets[offsets.len() - 1] != m
+            || offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: offsets[offsets.len() - 1],
+                bound: m,
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        if m > 0 && n > 0 && k > 0 {
+            let a = self.data();
+            // Pack each non-empty group's B once; empty groups never
+            // touch their weight.
+            let packed: Vec<Option<kernel::PackedB>> = weights
+                .iter()
+                .enumerate()
+                .map(|(g, w)| (offsets[g] < offsets[g + 1]).then(|| kernel::pack_b(w.data(), k, n)))
+                .collect();
+            let threads = if m * n * k < PAR_MIN_MACS {
+                1
+            } else {
+                threads.max(1)
+            };
+            par::for_each_row_band(&mut out, m, n, threads, |first_row, band| {
+                let band_rows = band.len() / n;
+                let band_end = first_row + band_rows;
+                let mut apack = Vec::new();
+                for (g, bp) in packed.iter().enumerate() {
+                    let Some(bp) = bp else { continue };
+                    let lo = offsets[g].max(first_row);
+                    let hi = offsets[g + 1].min(band_end);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let sub = &mut band[(lo - first_row) * n..(hi - first_row) * n];
+                    kernel::gemm_band(a, lo, bp, sub, hi - lo, &mut apack);
+                }
+            });
+        }
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -414,8 +480,14 @@ mod tests {
 
     #[test]
     fn blocked_kernel_handles_ragged_tile_edges() {
-        // dims straddling the 64/128 block sizes by one either way
-        for (m, k, n) in [(1, 65, 129), (3, 63, 127), (2, 128, 256), (5, 1, 1)] {
+        // dims straddling the microkernel tile sizes by one either way
+        for (m, k, n) in [
+            (1, 65, 129),
+            (3, 63, 127),
+            (2, 128, 256),
+            (5, 1, 1),
+            (7, 257, 17),
+        ] {
             let a = Tensor::from_vec((0..m * k).map(|v| (v % 7) as f32 - 3.0).collect(), &[m, k])
                 .unwrap();
             let b = Tensor::from_vec((0..k * n).map(|v| (v % 5) as f32 * 0.25).collect(), &[k, n])

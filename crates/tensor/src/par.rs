@@ -13,7 +13,24 @@ use std::sync::OnceLock;
 ///
 /// `TENSOR_THREADS` (a positive integer) overrides the hardware count;
 /// unset, empty, or invalid values fall back to
-/// [`std::thread::available_parallelism`]. Read once per process.
+/// [`std::thread::available_parallelism`].
+///
+/// # Read-once semantics
+///
+/// The environment variable is read **once per process**, on the first
+/// call, and the result is latched in a `OnceLock` forever after.
+/// Setting `TENSOR_THREADS` *after* any tensor op has run (directly or
+/// transitively — a single `matmul` is enough) has **no effect**; the
+/// latch is deliberate so mid-run environment changes can never make
+/// two halves of a computation disagree about the worker count. Code
+/// that needs a specific count at a specific call site must pass it
+/// explicitly via [`Tensor::matmul_with_threads`](crate::Tensor) /
+/// `for_each_expert(_, threads, _)`-style APIs instead of mutating the
+/// environment — which is exactly what the benchmarks do to sweep
+/// thread counts (relying on the env var once recorded
+/// `hardware_threads: 1` sweeps, measuring the latch rather than the
+/// kernel). The test `tensor_threads_env_is_latched_after_first_read`
+/// pins this behaviour.
 pub fn num_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
@@ -86,6 +103,23 @@ mod tests {
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
         assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn tensor_threads_env_is_latched_after_first_read() {
+        // Pin the read-once footgun: once num_threads() has been called,
+        // later TENSOR_THREADS changes are invisible. (Other tests may
+        // have latched the value already; either way the assertions
+        // below hold — that is the point of the latch.)
+        let first = num_threads();
+        std::env::set_var("TENSOR_THREADS", format!("{}", first + 7));
+        assert_eq!(
+            num_threads(),
+            first,
+            "TENSOR_THREADS set after first read must be ignored"
+        );
+        std::env::remove_var("TENSOR_THREADS");
+        assert_eq!(num_threads(), first);
     }
 
     #[test]

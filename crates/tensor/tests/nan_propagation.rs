@@ -1,0 +1,113 @@
+//! Regression tests for the zero-skip NaN-swallowing bug.
+//!
+//! The original banded GEMM skipped the inner loop whenever `a[i, k] ==
+//! 0.0` as a "sparsity" shortcut. IEEE 754 says `0.0 * NaN` is NaN and
+//! `0.0 * inf` is NaN, so the skip silently swallowed non-finite values
+//! coming from `b`: a NaN produced by an upstream expert (exploding
+//! gradient, bad checkpoint, uninitialised buffer) vanished whenever the
+//! matching activation happened to be exactly zero — which post-ReLU/GeLU
+//! activations frequently are. Training would then diverge silently
+//! instead of surfacing the NaN at its source.
+//!
+//! These tests pin the fix: every product is computed, so NaN/Inf in `b`
+//! must reach the output whenever the matching `a` entry is `0.0`, on
+//! every code path — the serial kernel, the multi-threaded banded kernel,
+//! the backward pass, and the grouped (multi-weight) GEMM.
+
+use tensor::grad;
+use tensor::Tensor;
+
+/// a = [[0, 1]], b = [[NaN, inf], [1, 1]]: row 0 of `b` is touched only
+/// through the zero entry of `a`, so a zero-skip kernel would return
+/// finite values. out[0,0] = 0*NaN + 1*1 must be NaN; out[0,1] =
+/// 0*inf + 1*1 must be NaN.
+#[test]
+fn nan_and_inf_in_b_reach_output_through_zero_in_a() {
+    let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+    let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0, 1.0], &[2, 2]).unwrap();
+    let out = a.matmul(&b).unwrap();
+    assert!(
+        out.data()[0].is_nan(),
+        "0.0 * NaN must propagate as NaN, got {}",
+        out.data()[0]
+    );
+    assert!(
+        out.data()[1].is_nan(),
+        "0.0 * inf must propagate as NaN, got {}",
+        out.data()[1]
+    );
+}
+
+/// Same property on a GEMM large enough to cross the parallel threshold,
+/// with explicit thread counts so the banded path is actually exercised.
+/// One poisoned row of `b` whose only matching `a` column is all zeros:
+/// every output element must be NaN regardless of the worker count.
+#[test]
+fn parallel_kernel_propagates_nan_through_zero_activations() {
+    let (m, k, n) = (96, 96, 96); // m*k*n > PAR_MIN_MACS = 64^3
+    let poisoned_k = 41;
+    let mut a_data = vec![1.0f32; m * k];
+    for row in 0..m {
+        a_data[row * k + poisoned_k] = 0.0;
+    }
+    let mut b_data = vec![1.0f32; k * n];
+    for col in 0..n {
+        b_data[poisoned_k * n + col] = if col % 2 == 0 {
+            f32::NAN
+        } else {
+            f32::INFINITY
+        };
+    }
+    let a = Tensor::from_vec(a_data, &[m, k]).unwrap();
+    let b = Tensor::from_vec(b_data, &[k, n]).unwrap();
+    for threads in [1usize, 2, 4] {
+        let out = a.matmul_with_threads(&b, threads).unwrap();
+        assert!(
+            out.data().iter().all(|v| v.is_nan()),
+            "threads={threads}: zero-skip would have produced finite output"
+        );
+    }
+}
+
+/// The backward pass routes through the same kernel; a NaN in the
+/// incoming gradient must reach both input and weight grads even when
+/// the matching forward values are exactly zero.
+#[test]
+fn matmul_backward_propagates_nan_through_zeros() {
+    // a: 2x2 all zeros, b: 2x2 identity, grad_out poisoned with one NaN.
+    let a = Tensor::zeros(&[2, 2]);
+    let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+    let grad_out = Tensor::from_vec(vec![f32::NAN, 1.0, 1.0, 1.0], &[2, 2]).unwrap();
+    let (grad_a, grad_b) = grad::matmul_backward(&grad_out, &a, &b).unwrap();
+    // grad_a = grad_out · bᵀ: row 0 touches the NaN.
+    assert!(grad_a.data()[0].is_nan(), "grad_a must carry the NaN");
+    // grad_b = aᵀ · grad_out: a is all zeros, so every product is
+    // 0 * grad_out — a zero-skip kernel would return all-zero grads and
+    // hide the divergence entirely.
+    assert!(
+        grad_b.data()[0].is_nan(),
+        "grad_b = aᵀ·grad_out must be NaN, not silently zeroed"
+    );
+}
+
+/// The grouped (per-expert-weight) GEMM uses the same microkernel per
+/// group; NaN in one expert's weight must poison exactly that group's
+/// rows and no others.
+#[test]
+fn grouped_gemm_propagates_nan_per_group() {
+    let k = 3;
+    let n = 2;
+    let a = Tensor::from_vec(vec![0.0; 4 * k], &[4, k]).unwrap();
+    let clean = Tensor::from_vec(vec![1.0; k * n], &[k, n]).unwrap();
+    let mut poisoned_data = vec![1.0f32; k * n];
+    poisoned_data[0] = f32::NAN;
+    let poisoned = Tensor::from_vec(poisoned_data, &[k, n]).unwrap();
+    let out = a
+        .matmul_grouped(&[&clean, &poisoned], &[0, 2, 4], 1)
+        .unwrap();
+    let data = out.data();
+    // Rows 0..2 hit the clean weight: 0*1 sums = 0.0 exactly.
+    assert!(data[..2 * n].iter().all(|v| *v == 0.0));
+    // Rows 2..4 hit the poisoned weight: column 0 sums include 0*NaN.
+    assert!(data[2 * n].is_nan() && data[3 * n].is_nan());
+}
