@@ -83,4 +83,35 @@ elif [ "$soak_rc" -ne 0 ]; then
     exit 1
 fi
 
+echo "==> migration capstone: chaos+skew soak under the lock doctor"
+# Adversarially skewed (Zipf) workloads drive the imbalance detector
+# into live hot-expert migrations while straggler faults delay random
+# ranks mid-fence, with lock-order tracking armed the whole time. Runs
+# the fence protocol suite, the workload generator's distribution
+# tests, and the 4-seed migration soak; a wedged fence surfaces as a
+# hang (exit 124), a broken bit-identity/no-drop/imbalance property as
+# an assertion failure (exit 1).
+set +e
+LOCK_DOCTOR=1 timeout --kill-after=30 600 sh -c '
+    cargo test -q -p collectives --test migration_fence &&
+    cargo test -q -p workloadgen &&
+    cargo test -q -p models --test migrate
+'
+migrate_rc=$?
+set -e
+if [ "$migrate_rc" -eq 124 ] || [ "$migrate_rc" -eq 137 ]; then
+    echo "migration capstone soak HANG (watchdog fired)" >&2
+    exit 124
+elif [ "$migrate_rc" -ne 0 ]; then
+    echo "migration capstone soak FAILED (assertion)" >&2
+    exit 1
+fi
+
+echo "==> migration pause budget: fence-to-resume wall time"
+# Measures the end-to-end training pause of one hot-expert migration on
+# a 4-rank world (max across ranks, best of 5) against the enforced
+# budget, and rewrites BENCH_migrate.json with measured vs modeled
+# phase costs.
+timeout --kill-after=30 300 cargo bench -q -p bench --bench migrate
+
 echo "CI OK"

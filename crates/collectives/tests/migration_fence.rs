@@ -1,0 +1,149 @@
+//! Migration-fence protocol tests: world-wide quiescing on a shared
+//! `(expert, from, to)` key, generation bumps on completion, atomic
+//! withdrawal on conflict, and the typed losses — a disagreeing fence
+//! or a concurrent eviction always kills the migration, never the
+//! eviction.
+
+use std::time::Duration;
+
+use collectives::{run_world_within, CommError, CommWorld};
+
+const BUDGET: Duration = Duration::from_secs(30);
+
+fn world(size: usize) -> CommWorld {
+    CommWorld::new(size).with_deadline(Duration::from_secs(5))
+}
+
+#[test]
+fn agreeing_fences_complete_and_bump_the_generation() {
+    let results = run_world_within(world(4), BUDGET, |comm| {
+        assert_eq!(comm.migration_generation(), 0);
+        let g1 = comm.migration_fence(3, 1, 2).expect("first fence");
+        let g2 = comm.migration_fence(5, 0, 3).expect("second fence");
+        (g1, g2, comm.migration_generation())
+    });
+    for (rank, &(g1, g2, after)) in results.iter().enumerate() {
+        assert_eq!(g1, 1, "rank {rank}");
+        assert_eq!(g2, 2, "rank {rank}: fences are reusable back-to-back");
+        assert_eq!(after, 2, "rank {rank}");
+    }
+}
+
+#[test]
+fn disagreeing_keys_conflict_and_leave_the_fence_reusable() {
+    let results = run_world_within(world(2), BUDGET, |comm| {
+        if comm.rank() == 0 {
+            // Installs the key (expert 1, 0 -> 1) first and waits.
+            (None, comm.migration_fence(1, 0, 1))
+        } else {
+            // Joins late with a different key: the typed conflict names
+            // the fence that won, not ours.
+            std::thread::sleep(Duration::from_millis(100));
+            let lost = comm.migration_fence(0, 1, 0);
+            assert!(
+                matches!(
+                    lost,
+                    Err(CommError::MigrationConflict {
+                        expert: 1,
+                        from: 0,
+                        to: 1
+                    })
+                ),
+                "got {lost:?}"
+            );
+            // Losing is side-effect free: agreeing with the held key
+            // joins the pending fence and completes it for both ranks.
+            (lost.err(), comm.migration_fence(1, 0, 1))
+        }
+    });
+    assert!(results[0].0.is_none());
+    assert!(results[1].0.is_some(), "rank 1 must lose the key race");
+    for (rank, (_, fence)) in results.iter().enumerate() {
+        assert_eq!(
+            *fence.as_ref().expect("agreed fence completes"),
+            1,
+            "rank {rank}"
+        );
+    }
+}
+
+#[test]
+fn fence_validates_its_endpoints() {
+    let results = run_world_within(world(2), BUDGET, |comm| {
+        (comm.migration_fence(0, 0, 5), comm.migration_fence(0, 1, 1))
+    });
+    for (out_of_range, self_move) in results {
+        assert!(matches!(
+            out_of_range,
+            Err(CommError::RankOutOfRange { .. })
+        ));
+        assert!(matches!(self_move, Err(CommError::InvalidGroup { .. })));
+    }
+}
+
+#[test]
+fn pending_eviction_beats_the_fence() {
+    let results = run_world_within(world(3), BUDGET, |comm| {
+        if comm.rank() == 2 {
+            comm.declare_dead(comm.rank());
+            return None;
+        }
+        // The dead peer makes any fence touching it — and, once the
+        // eviction vote is in flight, any fence at all — lose.
+        let dead_endpoint = comm.migration_fence(0, 1, 2);
+        assert!(
+            matches!(dead_endpoint, Err(CommError::RankDown { rank: 2 })),
+            "got {dead_endpoint:?}"
+        );
+        let epoch = match comm.propose_evict(2) {
+            Ok(e) => e,
+            Err(CommError::Reconfigured { epoch }) => epoch,
+            Err(e) => panic!("vote failed: {e}"),
+        };
+        assert_eq!(epoch, 1);
+        // The old world is fenced by the eviction: migrations on it are
+        // permanently lost, with a typed error.
+        let after_evict = comm.migration_fence(0, 0, 1);
+        Some(matches!(
+            after_evict,
+            Err(CommError::MigrationConflict { .. }) | Err(CommError::Reconfigured { .. })
+        ))
+    });
+    for (rank, r) in results.iter().enumerate() {
+        if rank == 2 {
+            assert!(r.is_none());
+        } else {
+            assert_eq!(*r, Some(true), "rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn lone_joiner_times_out_and_withdraws() {
+    let results = run_world_within(
+        CommWorld::new(2).with_deadline(Duration::from_millis(80)),
+        BUDGET,
+        |comm| {
+            if comm.rank() == 1 {
+                // Never joins the first fence; the partner must time
+                // out rather than hang.
+                std::thread::sleep(Duration::from_millis(200));
+                return comm.migration_fence(1, 0, 1).err().map(|e| format!("{e}"));
+            }
+            let lone = comm.migration_fence(1, 0, 1);
+            assert!(
+                matches!(lone, Err(CommError::Timeout { .. })),
+                "got {lone:?}"
+            );
+            // The withdrawal cleared the key: rank 1's late fence finds
+            // an empty slot, not our stale one — and *its* lone wait
+            // also times out, proving the state fully reset.
+            None
+        },
+    );
+    let late = results[1].as_ref().expect("late fence must also fail");
+    assert!(
+        late.contains("timed out") || late.contains("deadline"),
+        "{late}"
+    );
+}

@@ -134,7 +134,8 @@ fn recoverable(err: &CommError, self_rank: usize) -> bool {
         | CommError::BadParallelism { .. }
         | CommError::Poisoned { .. }
         | CommError::Reconfigured { .. }
-        | CommError::EvictConflict { .. } => false,
+        | CommError::EvictConflict { .. }
+        | CommError::MigrationConflict { .. } => false,
     }
 }
 
@@ -235,62 +236,72 @@ impl std::fmt::Debug for DistMoeLayer {
     }
 }
 
-/// Row-layout parameters of the gathered `[esp][ep][expert][slot]`
+/// Row-layout parameters of the gathered `[esp][ep][slot][row]`
 /// buffer, detached from the layer so shard workers can share it.
+///
+/// Each EP position contributes `slots` expert blocks per source
+/// (padded to the placement-wide maximum —
+/// [`ExpertMap::slots_per_position`]); this rank's `local_experts`
+/// real experts occupy the leading slots, trailing pad slots carry
+/// zeros and are never computed on.
 #[derive(Clone, Copy)]
 struct ShardLayout {
     m: usize,
     t: usize,
     n_esp: usize,
     n_ep: usize,
-    experts_per_ep: usize,
+    slots: usize,
+    local_experts: usize,
 }
 
 impl ShardLayout {
-    /// Rows each local expert owns in the gathered buffer.
+    /// Rows each dispatch slot owns in the gathered buffer.
     fn rows_per_expert(&self) -> usize {
         self.n_esp * self.n_ep * self.t
     }
 
     /// Uniform group offsets for the concatenated per-expert buffer.
     fn group_offsets(&self) -> Vec<usize> {
-        (0..=self.experts_per_ep)
+        (0..=self.local_experts)
             .map(|el| el * self.rows_per_expert())
             .collect()
     }
 }
 
-/// Appends expert `el`'s rows from the gathered buffer layout onto
-/// `out` — the dispatch-layout → grouped-layout gather.
+/// Appends local expert `el`'s rows from the gathered buffer layout
+/// onto `out` — the dispatch-layout → grouped-layout gather.
 fn gather_expert_rows_into(layout: ShardLayout, gathered: &[f32], el: usize, out: &mut Vec<f32>) {
     let ShardLayout {
         m,
         t,
         n_esp,
         n_ep,
-        experts_per_ep,
+        slots,
+        ..
     } = layout;
     for s in 0..n_esp {
         for p in 0..n_ep {
-            let row0 = ((s * n_ep + p) * experts_per_ep + el) * t;
+            let row0 = ((s * n_ep + p) * slots + el) * t;
             out.extend_from_slice(&gathered[row0 * m..(row0 + t) * m]);
         }
     }
 }
 
-/// Scatters expert `el`'s output rows back into the gathered layout.
+/// Scatters local expert `el`'s output rows back into the gathered
+/// layout.
 fn scatter_expert_rows(layout: ShardLayout, buffer: &mut [f32], el: usize, rows: &[f32]) {
     let ShardLayout {
         m,
         t,
         n_esp,
         n_ep,
-        experts_per_ep,
+        slots,
+        ..
     } = layout;
     let mut src = 0usize;
     for s in 0..n_esp {
         for p in 0..n_ep {
-            let row0 = ((s * n_ep + p) * experts_per_ep + el) * t;
+            let row0 = ((s * n_ep + p) * slots + el) * t;
             buffer[row0 * m..(row0 + t) * m].copy_from_slice(&rows[src * m..(src + t) * m]);
             src += t;
         }
@@ -298,11 +309,11 @@ fn scatter_expert_rows(layout: ShardLayout, buffer: &mut [f32], el: usize, rows:
 }
 
 /// Gathers every local expert's rows into one concatenated grouped
-/// buffer (`experts_per_ep` uniform groups of `rows_per_expert` rows).
+/// buffer (`local_experts` uniform groups of `rows_per_expert` rows).
 fn grouped_input(layout: ShardLayout, gathered: &[f32]) -> Result<Tensor> {
-    let rows = layout.experts_per_ep * layout.rows_per_expert();
+    let rows = layout.local_experts * layout.rows_per_expert();
     let mut buf = Vec::with_capacity(rows * layout.m);
-    for el in 0..layout.experts_per_ep {
+    for el in 0..layout.local_experts {
         gather_expert_rows_into(layout, gathered, el, &mut buf);
     }
     Ok(Tensor::from_vec(buf, &[rows, layout.m])?)
@@ -444,7 +455,8 @@ impl DistMoeLayer {
             t: self.config.capacity(),
             n_esp: self.esp_group.size(),
             n_ep: self.ep_group.size(),
-            experts_per_ep: self.experts_per_ep,
+            slots: self.expert_map.slots_per_position(),
+            local_experts: self.experts_per_ep,
         }
     }
 
@@ -483,19 +495,22 @@ impl DistMoeLayer {
 
         // The order buffer is in global-expert order; the AlltoAll
         // exchanges contiguous per-position chunks, so under a
-        // non-block placement the expert blocks are permuted into map
-        // layout first (and un-permuted after combine). Pure data
-        // movement — resharding never changes the numbers.
-        let map_layout = self.expert_map.layout();
+        // non-block placement the expert blocks are permuted into
+        // slot layout first (and un-permuted after combine). Slot
+        // layouts pad non-uniform placements with zero blocks so the
+        // AlltoAll chunks stay equal-size. Pure data movement —
+        // resharding never changes the numbers.
+        let slot_layout = self.expert_map.slot_layout();
         let block_elems = t * m;
         let is_block = self.expert_map.is_block();
         let permuted;
         let send: &[f32] = if is_block {
             buffer.data()
         } else {
-            permuted = permute_expert_blocks(buffer.data(), block_elems, &map_layout);
+            permuted = permute_expert_blocks(buffer.data(), block_elems, &slot_layout);
             &permuted
         };
+        let send_len = send.len();
 
         // AlltoAll dispatch over the EP group, with retry/degradation:
         // an unreachable peer drops this exchange's tokens (zero-fill)
@@ -519,7 +534,7 @@ impl DistMoeLayer {
             None => {
                 degraded = true;
                 self.record_drop(routing.assignments().len());
-                vec![0.0f32; buffer.num_elements()]
+                vec![0.0f32; send_len]
             }
         };
 
@@ -594,7 +609,12 @@ impl DistMoeLayer {
         let combined = if is_block {
             combined
         } else {
-            unpermute_expert_blocks(&combined, block_elems, &map_layout)
+            unpermute_expert_blocks(
+                &combined,
+                block_elems,
+                &slot_layout,
+                self.config.num_experts,
+            )
         };
         let expert_out = Tensor::from_vec(combined, &[self.config.num_experts * t, m])?;
 
@@ -632,14 +652,14 @@ impl DistMoeLayer {
         // then into map layout (the adjoint of the forward's inverse
         // permutation is the forward permutation).
         let grad_expert_out = combine_backward(grad_output, routing)?;
-        let map_layout = self.expert_map.layout();
+        let slot_layout = self.expert_map.slot_layout();
         let block_elems = self.config.capacity() * m;
         let is_block = self.expert_map.is_block();
         let permuted;
         let grad_send: &[f32] = if is_block {
             grad_expert_out.data()
         } else {
-            permuted = permute_expert_blocks(grad_expert_out.data(), block_elems, &map_layout);
+            permuted = permute_expert_blocks(grad_expert_out.data(), block_elems, &slot_layout);
             &permuted
         };
 
@@ -695,7 +715,12 @@ impl DistMoeLayer {
         let grad_buffer_raw = if is_block {
             grad_buffer_raw
         } else {
-            unpermute_expert_blocks(&grad_buffer_raw, block_elems, &map_layout)
+            unpermute_expert_blocks(
+                &grad_buffer_raw,
+                block_elems,
+                &slot_layout,
+                self.config.num_experts,
+            )
         };
         let grad_buffer = Tensor::from_vec(
             grad_buffer_raw,
@@ -820,10 +845,142 @@ impl DistMoeLayer {
         }
         self.ep_group = comm.subgroup(&topo.ep_group(comm.rank()))?;
         self.esp_group = comm.subgroup(&topo.esp_group(comm.rank()))?;
-        self.experts_per_ep = plan.map.experts_per_rank();
+        self.experts_per_ep = plan.map.experts_on(self.ep_group.group_index()).len();
         self.expert_map = plan.map.clone();
         self.rank = comm.rank();
         self.restore_full(checkpoint)
+    }
+
+    /// Migrates `expert` to EP position `to_pos` without an eviction:
+    /// detect (the caller's job) → fence → transfer → rebind.
+    ///
+    /// Every live rank of the world must call `migrate` with the same
+    /// arguments, like any collective. The call:
+    ///
+    /// 1. validates the move and computes the new placement locally
+    ///    (maps are SPMD-replicated, so every rank rejects a bad move
+    ///    in lockstep before touching the network),
+    /// 2. joins the world-wide migration fence
+    ///    ([`Communicator::migration_fence`]) — the quiesce point:
+    ///    every live rank is inside the fence, so no dispatch
+    ///    addressed to the old owner can be in flight,
+    /// 3. transfers the expert's weights rank-to-rank over a pair
+    ///    broadcast (only the source and destination participate; the
+    ///    bytes are copied verbatim, so weights stay bit-identical),
+    /// 4. rebinds: installs the new [`ExpertMap`] everywhere and
+    ///    drops stale forward state, so the next dispatch targets the
+    ///    new owner.
+    ///
+    /// The world is **not** renumbered and no other expert moves.
+    /// Because placement is pure (padded) data movement, a migrated
+    /// run computes bit-identically to the unmigrated one.
+    ///
+    /// Requires `N_ESP == 1` (un-sharded local experts) — the regime
+    /// the elastic trainer runs in, same as
+    /// [`DistMoeLayer::checkpoint_global`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::BadConfig`] under ESP sharding or for an
+    /// invalid move (unknown expert, out-of-range or unchanged
+    /// position, emptied source), and propagates fence and transfer
+    /// failures as [`MoeError::Comm`] — including
+    /// [`CommError::MigrationConflict`] when a concurrent eviction
+    /// wins the fence.
+    pub fn migrate(&mut self, expert: usize, to_pos: usize, comm: &Communicator) -> Result<()> {
+        if self.esp_group.size() != 1 {
+            return Err(MoeError::BadConfig {
+                field: "esp",
+                reason: format!(
+                    "migrate needs un-sharded experts (N_ESP == 1), have {}",
+                    self.esp_group.size()
+                ),
+            });
+        }
+        let new_map = self.expert_map.migrated(expert, to_pos)?;
+        let from_pos = self.expert_map.position_of(expert);
+        let from_rank = self.ep_group.ranks()[from_pos];
+        let to_rank = self.ep_group.ranks()[to_pos];
+
+        let mut span = obs::span(obs::names::CAT_FSMOE, obs::names::SPAN_ELASTIC_MIGRATE);
+        span.attr("rank", self.rank);
+        span.attr("expert", expert);
+        span.attr("from", from_rank);
+        span.attr("to", to_rank);
+
+        comm.migration_fence(expert, from_rank, to_rank)?;
+
+        // Transfer over a *world* broadcast rather than a pair
+        // exchange: every rank shares the same collective outcome, so
+        // a transfer fault cannot leave participants and bystanders
+        // disagreeing about whether the new placement was installed.
+        // All experts share one architecture, so every rank sizes the
+        // wire buffer from any local expert.
+        let shapes: Vec<Vec<usize>> = self.shards[0]
+            .weights()
+            .iter()
+            .map(|w| w.dims().to_vec())
+            .collect();
+        let total: usize = shapes.iter().map(|d| d.iter().product::<usize>()).sum();
+        let mut flat;
+        let mut source_local = None;
+        if self.rank == from_rank {
+            let Some(local) = self
+                .expert_map
+                .experts_on(from_pos)
+                .iter()
+                .position(|&e| e == expert)
+            else {
+                return Err(MoeError::BadConfig {
+                    field: "migrate",
+                    reason: format!("expert {expert} missing from its own position"),
+                });
+            };
+            source_local = Some(local);
+            flat = Vec::with_capacity(total);
+            for w in self.shards[local].weights() {
+                flat.extend_from_slice(w.data());
+            }
+        } else {
+            flat = vec![0.0f32; total];
+        }
+        comm.world_group().broadcast(from_rank, &mut flat)?;
+
+        if let Some(local) = source_local {
+            self.shards.remove(local);
+        }
+        if self.rank == to_rank {
+            // A scratch build supplies the module structure; its random
+            // weights are overwritten by the verbatim import, so the
+            // transferred expert stays bit-identical.
+            let mut scratch = TensorRng::seed_from(0);
+            let mut full = build_expert(
+                self.config.ffn,
+                self.config.embed_dim,
+                self.config.hidden_dim,
+                &mut scratch,
+            );
+            let mut weights = Vec::with_capacity(shapes.len());
+            let mut off = 0usize;
+            for dims in &shapes {
+                let n: usize = dims.iter().product();
+                weights.push(Tensor::from_vec(flat[off..off + n].to_vec(), dims)?);
+                off += n;
+            }
+            full.import_weights(&weights)?;
+            // `migrated` appends the expert to the destination's list,
+            // so the new shard goes to the end of ours.
+            self.shards
+                .push(full.shard(self.esp_group.group_index(), 1)?);
+            obs::counter_add(obs::names::MOE_MIGRATIONS, 1);
+        }
+        self.expert_map = new_map;
+        self.experts_per_ep = self
+            .expert_map
+            .experts_on(self.ep_group.group_index())
+            .len();
+        self.state = None;
+        Ok(())
     }
 
     /// Assembles the *full* layer checkpoint collectively: every rank
@@ -856,12 +1013,18 @@ impl DistMoeLayer {
             .map(|w| w.dims().to_vec())
             .collect();
         let per_expert: usize = shapes.iter().map(|d| d.iter().product::<usize>()).sum();
-        let mut flat = Vec::with_capacity(self.experts_per_ep * per_expert);
+        // The AllGather needs equal contributions, so under a
+        // non-uniform placement every rank pads its flat weights to the
+        // placement-wide slot count (the same padding the dispatch
+        // AlltoAll uses).
+        let slots = self.expert_map.slots_per_position();
+        let mut flat = Vec::with_capacity(slots * per_expert);
         for shard in &self.shards {
             for w in shard.weights() {
                 flat.extend_from_slice(w.data());
             }
         }
+        flat.resize(slots * per_expert, 0.0);
         let gathered = self.ep_group.all_gather(&flat)?;
 
         let n_ep = self.ep_group.size();

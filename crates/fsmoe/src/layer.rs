@@ -129,7 +129,13 @@ impl MoeLayer {
         })
     }
 
-    fn with_gate(config: &MoeConfig, gate: Box<dyn Gate>, rng: &mut TensorRng) -> Result<Self> {
+    /// A layer around an arbitrary gate, with default experts, ordering,
+    /// and hooks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn with_gate(config: &MoeConfig, gate: Box<dyn Gate>, rng: &mut TensorRng) -> Result<Self> {
         let experts = (0..config.num_experts)
             .map(|_| build_expert(config.ffn, config.embed_dim, config.hidden_dim, rng))
             .collect();

@@ -4,20 +4,30 @@
 //! `e / (E/N_EP)` (the paper's block layout). When a rank is evicted,
 //! the survivors must keep serving *all* `E` experts over `N_EP − 1`
 //! positions — an [`ExpertMap`] describes any such placement, and a
-//! [`ReshardPlan`] is the deterministic round-robin redistribution of
-//! the evicted position's experts across the survivors.
+//! [`ReshardPlan`] is either the deterministic round-robin
+//! redistribution of an evicted position's experts across the
+//! survivors or an eviction-free single-expert migration.
 //!
 //! Placement is pure data movement: the layer permutes the `(E·T, M)`
 //! dispatch buffer into map order before the EP AlltoAll and inverts
 //! the permutation after combine, so **any** placement of the same
 //! weights computes bit-identical outputs (the property the elastic
 //! bit-identity test in `models` pins down).
+//!
+//! Placements need not be uniform. The dispatch AlltoAll still
+//! exchanges equal-size chunks: every position's chunk is padded to
+//! [`ExpertMap::slots_per_position`] expert blocks, with
+//! [`ExpertMap::slot_layout`] marking which slots carry a real expert
+//! and which are zero-filled padding. Pad blocks carry zeros in both
+//! directions and never reach an expert or a token, so bit-identity
+//! across placements — uniform or not — is preserved.
 
 use crate::{MoeError, Result};
 
-/// A placement of `E` experts over `N_EP` expert-parallel positions,
-/// with the same number of experts on every position (the dispatch
-/// AlltoAll exchanges equal-size chunks).
+/// A placement of `E` experts over `N_EP` expert-parallel positions.
+/// Every position hosts at least one expert; positions may host
+/// different numbers of experts (non-uniform layouts arise from
+/// hot-expert migration).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpertMap {
     /// `experts_on[p]` — global expert ids hosted at EP position `p`,
@@ -49,42 +59,58 @@ impl ExpertMap {
         )
     }
 
-    /// Builds a map from explicit per-position expert lists.
+    /// Builds a map from explicit per-position expert lists. Lists may
+    /// have different lengths, but every position must host at least
+    /// one expert and the lists together must cover every expert id in
+    /// `0..total` exactly once.
     ///
     /// # Errors
     ///
-    /// Returns an error when the lists are not uniform in length or do
-    /// not cover every expert exactly once.
+    /// Returns a typed [`MoeError::BadConfig`] when a position is
+    /// empty, an expert id is out of range or placed twice, or an
+    /// expert id is missing.
     pub fn from_lists(experts_on: Vec<Vec<usize>>) -> Result<Self> {
         let n_ep = experts_on.len();
-        let per = experts_on.first().map_or(0, Vec::len);
-        if n_ep == 0 || per == 0 {
+        if n_ep == 0 {
             return Err(MoeError::BadConfig {
                 field: "expert_map",
-                reason: "placement must host at least one expert per position".into(),
+                reason: "placement must have at least one EP position".into(),
             });
         }
-        let num_experts = n_ep * per;
+        let num_experts: usize = experts_on.iter().map(Vec::len).sum();
         let mut position_of = vec![usize::MAX; num_experts];
         for (p, list) in experts_on.iter().enumerate() {
-            if list.len() != per {
+            if list.is_empty() {
                 return Err(MoeError::BadConfig {
                     field: "expert_map",
-                    reason: format!(
-                        "position {p} hosts {} experts, position 0 hosts {per}: placement must be uniform",
-                        list.len()
-                    ),
+                    reason: format!("position {p} hosts no experts"),
                 });
             }
             for &e in list {
-                if e >= num_experts || position_of[e] != usize::MAX {
+                if e >= num_experts {
                     return Err(MoeError::BadConfig {
                         field: "expert_map",
-                        reason: format!("expert {e} out of range or placed twice"),
+                        reason: format!("expert {e} out of range for {num_experts} experts"),
+                    });
+                }
+                if position_of[e] != usize::MAX {
+                    return Err(MoeError::BadConfig {
+                        field: "expert_map",
+                        reason: format!("expert {e} placed twice"),
                     });
                 }
                 position_of[e] = p;
             }
+        }
+        // Exactly-once coverage: the totals match and nothing was
+        // placed twice, so a MAX sentinel can only remain if some id
+        // was skipped in favour of an out-of-range one — which the
+        // range check already rejected. Defensive all the same.
+        if let Some(missing) = position_of.iter().position(|&p| p == usize::MAX) {
+            return Err(MoeError::BadConfig {
+                field: "expert_map",
+                reason: format!("expert {missing} is not placed anywhere"),
+            });
         }
         Ok(ExpertMap {
             experts_on,
@@ -102,9 +128,17 @@ impl ExpertMap {
         self.position_of.len()
     }
 
-    /// Experts hosted per position (uniform).
-    pub fn experts_per_rank(&self) -> usize {
-        self.experts_on[0].len()
+    /// Dispatch slots per position: the largest per-position expert
+    /// count. Positions hosting fewer experts pad their AlltoAll chunk
+    /// with zero blocks up to this width.
+    pub fn slots_per_position(&self) -> usize {
+        self.experts_on.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether every position hosts the same number of experts.
+    pub fn is_uniform(&self) -> bool {
+        let per = self.experts_on[0].len();
+        self.experts_on.iter().all(|list| list.len() == per)
     }
 
     /// The EP position hosting expert `e`.
@@ -117,17 +151,31 @@ impl ExpertMap {
         &self.experts_on[p]
     }
 
-    /// The dispatch-buffer layout: `layout()[i]` is the global expert
-    /// whose block sits at buffer position `i` (positions are grouped
-    /// by EP position, local order within).
-    pub fn layout(&self) -> Vec<usize> {
-        self.experts_on.iter().flatten().copied().collect()
+    /// The dispatch-buffer slot layout: `slot_layout()[i]` is the
+    /// global expert whose block occupies dispatch slot `i`, or `None`
+    /// for a zero-filled pad slot. Slots are grouped by EP position
+    /// ([`Self::slots_per_position`] per position); each position's
+    /// experts occupy its leading slots in local order, pads trail.
+    pub fn slot_layout(&self) -> Vec<Option<usize>> {
+        let slots = self.slots_per_position();
+        let mut out = Vec::with_capacity(self.n_ep() * slots);
+        for list in &self.experts_on {
+            out.extend(list.iter().map(|&e| Some(e)));
+            out.extend(std::iter::repeat_n(None, slots - list.len()));
+        }
+        out
     }
 
     /// Whether this is the identity (block) placement, for which the
     /// dispatch permutation is a no-op.
     pub fn is_block(&self) -> bool {
-        self.layout().iter().enumerate().all(|(i, &e)| i == e)
+        self.is_uniform()
+            && self
+                .experts_on
+                .iter()
+                .flatten()
+                .enumerate()
+                .all(|(i, &e)| i == e)
     }
 
     /// The placement after evicting position `evicted_pos`: survivors
@@ -139,8 +187,8 @@ impl ExpertMap {
     ///
     /// Returns an error when the eviction leaves no survivors, when
     /// `evicted_pos` is out of range, or when the orphan count does not
-    /// divide evenly over the survivors (the dispatch AlltoAll needs a
-    /// uniform placement).
+    /// divide evenly over the survivors (eviction keeps the placement
+    /// uniform so recovery math stays simple).
     pub fn after_eviction(&self, evicted_pos: usize) -> Result<ExpertMap> {
         let n = self.n_ep();
         if evicted_pos >= n {
@@ -179,10 +227,60 @@ impl ExpertMap {
         }
         Self::from_lists(lists)
     }
+
+    /// The placement after migrating `expert` to position `to`: the
+    /// expert leaves its current position's list (local order of the
+    /// remaining experts is preserved) and is appended to the end of
+    /// `to`'s list. The world is not renumbered and no other expert
+    /// moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`MoeError::BadConfig`] when `expert` or `to`
+    /// is out of range, when `expert` already lives at `to`, or when
+    /// the move would leave the source position empty.
+    pub fn migrated(&self, expert: usize, to: usize) -> Result<ExpertMap> {
+        if expert >= self.num_experts() {
+            return Err(MoeError::BadConfig {
+                field: "migrate",
+                reason: format!(
+                    "expert {expert} out of range for {} experts",
+                    self.num_experts()
+                ),
+            });
+        }
+        if to >= self.n_ep() {
+            return Err(MoeError::BadConfig {
+                field: "migrate",
+                reason: format!(
+                    "position {to} out of range for {} EP positions",
+                    self.n_ep()
+                ),
+            });
+        }
+        let from = self.position_of(expert);
+        if from == to {
+            return Err(MoeError::BadConfig {
+                field: "migrate",
+                reason: format!("expert {expert} already lives at position {to}"),
+            });
+        }
+        if self.experts_on[from].len() == 1 {
+            return Err(MoeError::BadConfig {
+                field: "migrate",
+                reason: format!("migrating expert {expert} would leave position {from} empty"),
+            });
+        }
+        let mut lists = self.experts_on.clone();
+        lists[from].retain(|&e| e != expert);
+        lists[to].push(expert);
+        Self::from_lists(lists)
+    }
 }
 
 /// A re-sharding plan: the new placement survivors rebuild under after
-/// an eviction (or any deliberate re-placement).
+/// an eviction, a deliberate re-placement, or an eviction-free
+/// hot-expert migration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReshardPlan {
     /// The placement to rebuild under.
@@ -202,6 +300,27 @@ impl ReshardPlan {
         })
     }
 
+    /// The eviction-free plan that moves `expert` from position `from`
+    /// to position `to`, leaving every other expert in place and the
+    /// world unrenumbered.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error when `from` does not currently host
+    /// `expert`, and propagates [`ExpertMap::migrated`] failures
+    /// (out-of-range ids, no-op moves, emptied source position).
+    pub fn migrate(old: &ExpertMap, expert: usize, from: usize, to: usize) -> Result<ReshardPlan> {
+        if expert >= old.num_experts() || old.position_of(expert) != from {
+            return Err(MoeError::BadConfig {
+                field: "migrate",
+                reason: format!("expert {expert} is not hosted at position {from}"),
+            });
+        }
+        Ok(ReshardPlan {
+            map: old.migrated(expert, to)?,
+        })
+    }
+
     /// A plan that installs an explicit placement (same-world remaps,
     /// used by the placement-invariance tests).
     pub fn custom(map: ExpertMap) -> ReshardPlan {
@@ -209,23 +328,40 @@ impl ReshardPlan {
     }
 }
 
-/// Permutes expert blocks of a dispatch buffer into map layout:
-/// output block `i` is input block `layout[i]` (blocks are `block`
-/// floats each — one expert's `T · M` slot rows).
-pub(crate) fn permute_expert_blocks(data: &[f32], block: usize, layout: &[usize]) -> Vec<f32> {
-    let mut out = Vec::with_capacity(data.len());
-    for &e in layout {
-        out.extend_from_slice(&data[e * block..(e + 1) * block]);
+/// Permutes expert blocks of a dispatch buffer into slot layout:
+/// output slot `i` is input block `slots[i]`, or zeros for a `None`
+/// pad slot (blocks are `block` floats each — one expert's `T · M`
+/// slot rows). The output has `slots.len()` blocks, which exceeds the
+/// input's expert-block count whenever the placement pads.
+pub(crate) fn permute_expert_blocks(
+    data: &[f32],
+    block: usize,
+    slots: &[Option<usize>],
+) -> Vec<f32> {
+    let mut out = Vec::with_capacity(slots.len() * block);
+    for &slot in slots {
+        match slot {
+            Some(e) => out.extend_from_slice(&data[e * block..(e + 1) * block]),
+            None => out.resize(out.len() + block, 0.0),
+        }
     }
     out
 }
 
-/// Inverts [`permute_expert_blocks`]: input block `i` lands at output
-/// block `layout[i]`.
-pub(crate) fn unpermute_expert_blocks(data: &[f32], block: usize, layout: &[usize]) -> Vec<f32> {
-    let mut out = vec![0.0f32; data.len()];
-    for (i, &e) in layout.iter().enumerate() {
-        out[e * block..(e + 1) * block].copy_from_slice(&data[i * block..(i + 1) * block]);
+/// Inverts [`permute_expert_blocks`]: input slot `i` lands at output
+/// block `slots[i]`; pad slots are dropped. The output has
+/// `num_experts` blocks.
+pub(crate) fn unpermute_expert_blocks(
+    data: &[f32],
+    block: usize,
+    slots: &[Option<usize>],
+    num_experts: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; num_experts * block];
+    for (i, &slot) in slots.iter().enumerate() {
+        if let Some(e) = slot {
+            out[e * block..(e + 1) * block].copy_from_slice(&data[i * block..(i + 1) * block]);
+        }
     }
     out
 }
@@ -238,23 +374,52 @@ mod tests {
     fn block_map_is_identity() {
         let map = ExpertMap::block(6, 3).unwrap();
         assert!(map.is_block());
-        assert_eq!(map.layout(), vec![0, 1, 2, 3, 4, 5]);
+        assert!(map.is_uniform());
+        assert_eq!(map.slots_per_position(), 2);
+        assert_eq!(
+            map.slot_layout(),
+            (0..6).map(Some).collect::<Vec<Option<usize>>>()
+        );
         assert_eq!(map.experts_on(1), &[2, 3]);
         assert_eq!(map.position_of(5), 2);
-        assert_eq!(map.experts_per_rank(), 2);
         assert!(ExpertMap::block(5, 3).is_err());
     }
 
     #[test]
     fn from_lists_validates() {
         assert!(ExpertMap::from_lists(vec![]).is_err());
-        assert!(ExpertMap::from_lists(vec![vec![0, 1], vec![2]]).is_err());
+        assert!(ExpertMap::from_lists(vec![vec![0, 1], vec![]]).is_err());
         assert!(ExpertMap::from_lists(vec![vec![0, 1], vec![2, 2]]).is_err());
         assert!(ExpertMap::from_lists(vec![vec![0, 1], vec![2, 9]]).is_err());
         let map = ExpertMap::from_lists(vec![vec![1, 3], vec![0, 2]]).unwrap();
         assert!(!map.is_block());
         assert_eq!(map.position_of(3), 0);
-        assert_eq!(map.layout(), vec![1, 3, 0, 2]);
+        assert_eq!(map.slot_layout(), vec![Some(1), Some(3), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn non_uniform_lists_pad_their_slots() {
+        let map = ExpertMap::from_lists(vec![vec![0, 2, 4], vec![1], vec![3]]).unwrap();
+        assert!(!map.is_uniform());
+        assert!(!map.is_block());
+        assert_eq!(map.slots_per_position(), 3);
+        assert_eq!(map.num_experts(), 5);
+        assert_eq!(
+            map.slot_layout(),
+            vec![
+                Some(0),
+                Some(2),
+                Some(4),
+                Some(1),
+                None,
+                None,
+                Some(3),
+                None,
+                None
+            ]
+        );
+        assert_eq!(map.position_of(4), 0);
+        assert_eq!(map.position_of(3), 2);
     }
 
     #[test]
@@ -288,15 +453,61 @@ mod tests {
     }
 
     #[test]
+    fn migration_moves_one_expert_and_nothing_else() {
+        let map = ExpertMap::block(8, 4).unwrap();
+        let after = map.migrated(1, 3).unwrap();
+        assert_eq!(after.experts_on(0), &[0]);
+        assert_eq!(after.experts_on(1), &[2, 3]);
+        assert_eq!(after.experts_on(3), &[6, 7, 1]);
+        assert_eq!(after.position_of(1), 3);
+        assert!(!after.is_uniform());
+        assert_eq!(after.slots_per_position(), 3);
+        // Deterministic and composable: migrate it back.
+        let back = after.migrated(1, 0).unwrap();
+        assert_eq!(back.experts_on(0), &[0, 1]);
+        assert_eq!(back.position_of(1), 0);
+    }
+
+    #[test]
+    fn migration_rejects_bad_moves() {
+        let map = ExpertMap::block(8, 4).unwrap();
+        // Out-of-range expert and position.
+        assert!(map.migrated(8, 0).is_err());
+        assert!(map.migrated(0, 4).is_err());
+        // No-op move.
+        assert!(map.migrated(0, 0).is_err());
+        // Emptied source: position 1 of the non-uniform map below
+        // hosts only expert 1.
+        let narrow = ExpertMap::from_lists(vec![vec![0, 2], vec![1]]).unwrap();
+        assert!(narrow.migrated(1, 0).is_err());
+        // Plan constructor cross-checks the claimed source position.
+        assert!(ReshardPlan::migrate(&map, 1, 2, 3).is_err());
+        assert!(ReshardPlan::migrate(&map, 1, 0, 3).is_ok());
+    }
+
+    #[test]
     fn permutation_round_trips() {
         let map = ExpertMap::from_lists(vec![vec![2, 0], vec![3, 1]]).unwrap();
-        let layout = map.layout();
+        let slots = map.slot_layout();
         let block = 3;
         let data: Vec<f32> = (0..12).map(|v| v as f32).collect();
-        let permuted = permute_expert_blocks(&data, block, &layout);
-        // position 0 of the permuted buffer holds expert 2's block
+        let permuted = permute_expert_blocks(&data, block, &slots);
+        // slot 0 of the permuted buffer holds expert 2's block
         assert_eq!(&permuted[0..3], &[6.0, 7.0, 8.0]);
-        let back = unpermute_expert_blocks(&permuted, block, &layout);
+        let back = unpermute_expert_blocks(&permuted, block, &slots, map.num_experts());
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn padded_permutation_round_trips() {
+        let map = ExpertMap::from_lists(vec![vec![2], vec![0, 1]]).unwrap();
+        let slots = map.slot_layout();
+        assert_eq!(slots, vec![Some(2), None, Some(0), Some(1)]);
+        let block = 2;
+        let data: Vec<f32> = (1..=6).map(|v| v as f32).collect();
+        let permuted = permute_expert_blocks(&data, block, &slots);
+        assert_eq!(permuted, vec![5.0, 6.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
+        let back = unpermute_expert_blocks(&permuted, block, &slots, map.num_experts());
         assert_eq!(back, data);
     }
 }

@@ -89,6 +89,57 @@ fn placement_is_invariant() {
 }
 
 #[test]
+fn non_uniform_placement_is_invariant_too() {
+    // The padded-slot dispatch path: position 0 hosts one expert,
+    // position 1 hosts five (slots = 5, four pad blocks on position 0).
+    // Bit-identity must survive the heaviest possible padding skew, and
+    // a migration arriving at the same placement must agree with a
+    // reshard arriving at it.
+    let cfg = config(6);
+    let reference = run_world_within(CommWorld::new(2), BUDGET, {
+        let cfg = cfg.clone();
+        move |comm| {
+            let topo = flat_topology(2);
+            let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+            run_step(&mut layer, &cfg, comm.rank())
+        }
+    });
+    let lopsided = run_world_within(CommWorld::new(2), BUDGET, {
+        let cfg = cfg.clone();
+        move |comm| {
+            let topo = flat_topology(2);
+            let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+            let ckpt = layer.checkpoint_global().unwrap();
+            let map = ExpertMap::from_lists(vec![vec![4], vec![0, 5, 1, 3, 2]]).unwrap();
+            layer
+                .reshard(&ReshardPlan::custom(map), &ckpt, &comm, &topo)
+                .unwrap();
+            assert!(!layer.expert_map().is_uniform());
+            assert_eq!(layer.expert_map().slots_per_position(), 5);
+            run_step(&mut layer, &cfg, comm.rank())
+        }
+    });
+    assert_eq!(reference, lopsided, "padded placement changed the numbers");
+    let migrated = run_world_within(
+        CommWorld::new(2).with_deadline(Duration::from_secs(5)),
+        BUDGET,
+        {
+            let cfg = cfg.clone();
+            move |comm| {
+                let topo = flat_topology(2);
+                let mut layer = DistMoeLayer::gshard(&cfg, &comm, &topo, SEED).unwrap();
+                // Block {0,1,2} | {3,4,5} -> move expert 1 across.
+                layer.migrate(1, 1, &comm).unwrap();
+                assert_eq!(layer.expert_map().experts_on(0), &[0, 2]);
+                assert_eq!(layer.expert_map().experts_on(1), &[3, 4, 5, 1]);
+                run_step(&mut layer, &cfg, comm.rank())
+            }
+        },
+    );
+    assert_eq!(reference, migrated, "migration changed the numbers");
+}
+
+#[test]
 fn checkpoint_global_gathers_all_experts_identically() {
     let cfg = config(4);
     let ckpts: Vec<LayerCheckpoint> = run_world_within(CommWorld::new(2), BUDGET, {

@@ -45,6 +45,7 @@ use fsmoe::reshard::ReshardPlan;
 use fsmoe::{MoeError, Result};
 use tensor::{Tensor, TensorRng};
 
+use crate::imbalance::{ImbalanceDetector, MigrationDecision};
 use crate::train::dist_train_step;
 
 /// The flat elastic topology: one node, `n` GPUs, pure expert+data
@@ -119,6 +120,9 @@ pub struct ElasticTrainer {
     evictions: usize,
     strikes: usize,
     last_fallback: Option<MoeError>,
+    rebalancer: Option<ImbalanceDetector>,
+    migrations: usize,
+    last_migration: Option<MigrationDecision>,
 }
 
 impl ElasticTrainer {
@@ -155,6 +159,9 @@ impl ElasticTrainer {
             evictions: 0,
             strikes: 0,
             last_fallback: None,
+            rebalancer: None,
+            migrations: 0,
+            last_migration: None,
         })
     }
 
@@ -194,6 +201,9 @@ impl ElasticTrainer {
             evictions: 0,
             strikes: 0,
             last_fallback: None,
+            rebalancer: None,
+            migrations: 0,
+            last_migration: None,
         })
     }
 
@@ -208,6 +218,29 @@ impl ElasticTrainer {
     /// Replaces the layer's AlltoAll retry/degradation policy.
     pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
         self.layer.set_fault_policy(policy);
+    }
+
+    /// Enables automatic load rebalancing: after every completed step
+    /// the fleet-wide expert loads feed `detector`, and a sustained-skew
+    /// decision drives an eviction-free hot-expert migration
+    /// ([`DistMoeLayer::migrate`]).
+    ///
+    /// SPMD: every rank must enable rebalancing with an identically
+    /// configured detector, or ranks disagree about when to fence.
+    #[must_use]
+    pub fn with_rebalancing(mut self, detector: ImbalanceDetector) -> Self {
+        self.rebalancer = Some(detector);
+        self
+    }
+
+    /// Eviction-free expert migrations completed so far.
+    pub fn migrations(&self) -> usize {
+        self.migrations
+    }
+
+    /// The most recent migration decision acted on, if any.
+    pub fn last_migration(&self) -> Option<MigrationDecision> {
+        self.last_migration
     }
 
     /// The wrapped distributed layer.
@@ -310,10 +343,12 @@ impl ElasticTrainer {
             | CommError::Reconfigured { .. } => {
                 (0..self.comm.world_size()).find(|&r| r != self.comm.rank() && self.comm.is_dead(r))
             }
-            // This rank itself is down, a lost eviction race, or a
-            // structural/config error: no peer to blame, propagate.
+            // This rank itself is down, a lost eviction or migration
+            // race, or a structural/config error: no peer to blame,
+            // propagate.
             CommError::RankDown { .. }
             | CommError::EvictConflict { .. }
+            | CommError::MigrationConflict { .. }
             | CommError::RankOutOfRange { .. }
             | CommError::InvalidGroup { .. }
             | CommError::NotAMember { .. }
@@ -382,6 +417,45 @@ impl ElasticTrainer {
         Ok(())
     }
 
+    /// After a completed step: all-reduce this rank's expert loads so
+    /// every rank sees identical fleet-wide totals, feed the detector,
+    /// and on a sustained-skew decision migrate the hot expert. A
+    /// migration that loses its fence to a concurrent eviction
+    /// ([`CommError::MigrationConflict`]) is skipped, not fatal — the
+    /// eviction path owns recovery and the detector re-fires after its
+    /// cooldown.
+    fn maybe_rebalance(&mut self) -> Result<()> {
+        if self.rebalancer.is_none() {
+            return Ok(());
+        }
+        let Some(routing) = self.layer.last_routing() else {
+            return Ok(());
+        };
+        let mut local: Vec<f32> = routing.expert_loads().iter().map(|&l| l as f32).collect();
+        // Per-rank routings differ; the decision must not. Summing over
+        // the world gives every rank the same detector input.
+        self.comm
+            .world_group()
+            .all_reduce(&mut local)
+            .map_err(MoeError::Comm)?;
+        let loads: Vec<f64> = local.iter().map(|&l| f64::from(l)).collect();
+        let Some(detector) = self.rebalancer.as_mut() else {
+            return Ok(());
+        };
+        let Some(decision) = detector.observe(self.layer.expert_map(), &loads) else {
+            return Ok(());
+        };
+        match self.layer.migrate(decision.expert, decision.to, &self.comm) {
+            Ok(()) => {
+                self.migrations += 1;
+                self.last_migration = Some(decision);
+                Ok(())
+            }
+            Err(MoeError::Comm(CommError::MigrationConflict { .. })) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Runs one training step, driving the elastic pipeline when a peer
     /// is down: retried steps replay from the last snapshot on the
     /// surviving world, so a returned loss is always a *completed* step.
@@ -392,9 +466,12 @@ impl ElasticTrainer {
     /// eviction budget ([`ElasticPolicy::max_evictions`]) is spent.
     pub fn train_step(&mut self, input: &Tensor, target: &Tensor, lr: f32) -> Result<f32> {
         loop {
-            let result = self.maybe_snapshot().and_then(|()| {
-                dist_train_step(&mut self.layer, input, target, lr, &mut self.route_rng)
-            });
+            let result = self
+                .maybe_snapshot()
+                .and_then(|()| {
+                    dist_train_step(&mut self.layer, input, target, lr, &mut self.route_rng)
+                })
+                .and_then(|loss| self.maybe_rebalance().map(|()| loss));
             let err = match result {
                 Ok(loss) => {
                     self.step += 1;

@@ -52,6 +52,9 @@ pub const SPAN_SNAPSHOT: &str = "snapshot";
 pub const SPAN_RECOVER: &str = "recover";
 /// Span: the elastic eviction + re-shard + rollback sequence.
 pub const SPAN_ELASTIC_RECONFIGURE: &str = "elastic.reconfigure";
+/// Span: an eviction-free hot-expert migration (fence → transfer →
+/// rebind).
+pub const SPAN_ELASTIC_MIGRATE: &str = "elastic.migrate";
 
 /// Span: an MoE layer forward pass.
 pub const SPAN_MOE_FORWARD: &str = "moe.forward";
@@ -100,6 +103,14 @@ pub const MOE_DROPPED_TOKENS: &str = "moe.dropped_tokens";
 pub const MOE_DROP_EVENTS: &str = "moe.drop_events";
 /// Histogram: per-expert token load, one sample per expert per gate.
 pub const MOE_EXPERT_LOAD: &str = "moe.expert_load";
+/// Counter: completed hot-expert migrations (counted once, on the
+/// receiving rank).
+pub const MOE_MIGRATIONS: &str = "moe.migrations";
+/// Gauge: max/mean per-position expert load, as last observed by the
+/// imbalance detector (1.0 = perfectly balanced).
+pub const MOE_IMBALANCE_RATIO: &str = "moe.imbalance_ratio";
+/// Counter: completed migration fences (one per world-wide quiesce).
+pub const COLLECTIVES_MIGRATION_FENCES: &str = "collectives.migration_fences";
 
 /// Counter: potential-deadlock cycles in the lock-order graph
 /// (published by [`crate::publish_lock_doctor`]).

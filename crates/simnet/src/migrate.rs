@@ -1,0 +1,142 @@
+//! Pricing an eviction-free hot-expert migration.
+//!
+//! Rebalancing a skewed fleet by moving one expert (DESIGN.md §10) pays
+//! three sequential phases: *quiesce* (the world-wide migration fence —
+//! an AllReduce-shaped exchange of one fence word that drains in-flight
+//! collectives), *transfer* (the expert's weights move from the source
+//! rank to the destination; priced on the AlltoAll model, the
+//! simulator's point-to-point stand-in), and *rebind* (the destination
+//! rebuilds its local shard set and every rank installs the new
+//! placement — pure local work). Pricing these with the same α–β
+//! models as the rest of the simulator lets a planner weigh "migrate
+//! the hot expert now" against "keep limping with a skewed fleet", and
+//! against the far heavier eviction pipeline
+//! ([`price_reconfiguration`](crate::price_reconfiguration)).
+
+use crate::{OpCosts, ResourceId, TaskGraph, TaskId};
+
+/// The per-phase cost breakdown of one expert migration, in ms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationCost {
+    /// The world-wide fence that quiesces in-flight collectives
+    /// (AllReduce of one 8-byte fence word).
+    pub quiesce: f64,
+    /// Moving the expert's weights source → destination (AlltoAll
+    /// model as the point-to-point stand-in).
+    pub transfer: f64,
+    /// Local shard rebuild + placement install on every rank.
+    pub rebind: f64,
+}
+
+impl MigrationCost {
+    /// Total pause: the phases are strictly sequential (the transfer
+    /// cannot start before the fence completes, the rebind needs the
+    /// transferred weights).
+    pub fn total(&self) -> f64 {
+        self.quiesce + self.transfer + self.rebind
+    }
+}
+
+/// Prices one eviction-free expert migration.
+///
+/// * `world` — live rank count (the fence spans the whole world).
+/// * `expert_bytes` — the migrated expert's weight payload.
+/// * `rebind_ms` — local rebuild time on the destination (measured or
+///   modeled; clamped to ≥ 0).
+///
+/// The fence exchanges one 8-byte word per rank. Unlike an eviction
+/// there is no detection deadline to sit out and no snapshot to
+/// reload, which is why a migration prices far below a
+/// reconfiguration for the same payload.
+pub fn price_migration(
+    costs: &OpCosts,
+    world: usize,
+    expert_bytes: f64,
+    rebind_ms: f64,
+) -> MigrationCost {
+    let world = world.max(1) as f64;
+    MigrationCost {
+        quiesce: costs.all_reduce.time(8.0 * world),
+        transfer: costs.a2a.time(expert_bytes.max(0.0)),
+        rebind: rebind_ms.max(0.0),
+    }
+}
+
+/// Appends the migration as a sequential chain of tasks on `resource`
+/// (the link the fence and transfer serialise on), after `deps`.
+/// Returns the final task — schedule the resumed training after it.
+pub fn add_migration_tasks(
+    graph: &mut TaskGraph,
+    resource: ResourceId,
+    cost: &MigrationCost,
+    deps: &[TaskId],
+) -> TaskId {
+    let quiesce = graph.add_task("migrate.quiesce", resource, cost.quiesce, deps);
+    let transfer = graph.add_task("migrate.transfer", resource, cost.transfer, &[quiesce]);
+    graph.add_task("migrate.rebind", resource, cost.rebind, &[transfer])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{price_reconfiguration, Engine, Testbed};
+
+    #[test]
+    fn phases_follow_the_alpha_beta_models() {
+        let costs = Testbed::a().costs;
+        let c = price_migration(&costs, 4, 2e6, 3.0);
+        assert_eq!(c.quiesce, costs.all_reduce.time(32.0));
+        assert_eq!(c.transfer, costs.a2a.time(2e6));
+        assert_eq!(c.rebind, 3.0);
+        assert!((c.total() - (c.quiesce + c.transfer + c.rebind)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_every_input() {
+        let costs = Testbed::b().costs;
+        let base = price_migration(&costs, 4, 2e6, 3.0).total();
+        assert!(price_migration(&costs, 8, 2e6, 3.0).total() > base);
+        assert!(price_migration(&costs, 4, 4e6, 3.0).total() > base);
+        assert!(price_migration(&costs, 4, 2e6, 6.0).total() > base);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp_instead_of_poisoning() {
+        let costs = Testbed::a().costs;
+        let c = price_migration(&costs, 0, -5.0, -2.0);
+        // Zero-byte collectives still pay their startup α.
+        assert_eq!(c.quiesce, costs.all_reduce.time(8.0));
+        assert_eq!(c.transfer, costs.a2a.alpha);
+        assert_eq!(c.rebind, 0.0);
+        assert!(c.total().is_finite());
+    }
+
+    #[test]
+    fn migration_prices_far_below_eviction_for_the_same_payload() {
+        let costs = Testbed::a().costs;
+        let migrate = price_migration(&costs, 4, 2e6, 3.0);
+        // The eviction moves the same orphan payload but also sits out
+        // the detection deadline and reloads a full snapshot.
+        let evict = price_reconfiguration(&costs, 4, 50.0, 2e6, 8e6);
+        assert!(
+            migrate.total() < evict.total(),
+            "migration {} should undercut eviction {}",
+            migrate.total(),
+            evict.total()
+        );
+    }
+
+    #[test]
+    fn tasks_extend_the_critical_path_by_exactly_the_total() {
+        let costs = Testbed::a().costs;
+        let cost = price_migration(&costs, 4, 1e6, 2.0);
+        let mut g = TaskGraph::new();
+        let link = g.add_resource("node0.nic");
+        let step = g.add_task("train.step", link, 3.0, &[]);
+        let last = add_migration_tasks(&mut g, link, &cost, &[step]);
+        let resume = g.add_task("train.resume", link, 3.0, &[last]);
+        let tl = Engine::new().simulate(&g).unwrap();
+        assert!((tl.makespan() - (6.0 + cost.total())).abs() < 1e-9);
+        assert!((tl.span(resume).start - (3.0 + cost.total())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! Gate-aware calibration actually skews a real gate's routing: the
+//! generator's batches, fed through the gate they were calibrated
+//! against, concentrate load where the distribution says.
+
+use fsmoe::gate::{GShardGate, Gate, SigmoidGate};
+use tensor::TensorRng;
+use workloadgen::{Distribution, WorkloadGen};
+
+const EMBED: usize = 16;
+const EXPERTS: usize = 6;
+const TOKENS: usize = 240;
+
+fn skewed_loads(gate: &dyn Gate, dist: &Distribution, seed: u64) -> Vec<usize> {
+    let mut gen = WorkloadGen::calibrate(gate, EMBED, seed).expect("calibration must cover");
+    let batch = gen.next_batch(dist, TOKENS).unwrap();
+    let mut route_rng = TensorRng::seed_from(99);
+    // Capacity = token count: nothing drops, loads reflect the gate's
+    // true preference.
+    let routing = gate.route(&batch, TOKENS, &mut route_rng).unwrap();
+    routing.expert_loads()
+}
+
+#[test]
+fn calibrated_zipf_batches_skew_a_gshard_gate() {
+    let mut rng = TensorRng::seed_from(5);
+    let gate = GShardGate::new(EMBED, EXPERTS, 1, &mut rng);
+    let gen = WorkloadGen::calibrate(&gate, EMBED, 11).unwrap();
+    let hot = gen.attractor();
+    let loads = skewed_loads(&gate, &Distribution::Zipf { s: 1.8 }, 11);
+    let total: usize = loads.iter().sum();
+    let mean = total as f64 / EXPERTS as f64;
+    assert!(
+        loads[hot] as f64 > 2.0 * mean,
+        "hot expert {hot} should carry > 2x mean load, got {loads:?}"
+    );
+}
+
+#[test]
+fn adversarial_batches_concentrate_on_the_attractor() {
+    let mut rng = TensorRng::seed_from(3);
+    let gate = SigmoidGate::new(EMBED, EXPERTS, 1, &mut rng);
+    let gen = WorkloadGen::calibrate(&gate, EMBED, 21).unwrap();
+    let hot = gen.attractor();
+    let loads = skewed_loads(&gate, &Distribution::Adversarial, 21);
+    let total: usize = loads.iter().sum();
+    assert!(
+        loads[hot] * 2 > total,
+        "attractor {hot} should carry the majority of load, got {loads:?}"
+    );
+}
+
+#[test]
+fn uniform_batches_stay_roughly_balanced() {
+    let mut rng = TensorRng::seed_from(5);
+    let gate = GShardGate::new(EMBED, EXPERTS, 1, &mut rng);
+    let loads = skewed_loads(&gate, &Distribution::Uniform, 11);
+    let max = *loads.iter().max().unwrap();
+    let total: usize = loads.iter().sum();
+    let mean = total as f64 / EXPERTS as f64;
+    // Pool sizes vary with gate bias, so "balanced" is loose — but
+    // nothing like the > 2x-mean concentration the skewed tests pin.
+    assert!(
+        (max as f64) < 2.0 * mean,
+        "uniform workload should not concentrate: {loads:?}"
+    );
+}
+
+#[test]
+fn generator_batches_replay_under_a_fixed_seed() {
+    let mut rng = TensorRng::seed_from(5);
+    let gate = GShardGate::new(EMBED, EXPERTS, 2, &mut rng);
+    let dist = Distribution::Drifting { s: 1.5, period: 2 };
+    let mut a = WorkloadGen::calibrate(&gate, EMBED, 7).unwrap();
+    let mut b = WorkloadGen::calibrate(&gate, EMBED, 7).unwrap();
+    for _ in 0..4 {
+        let ba = a.next_batch(&dist, 32).unwrap();
+        let bb = b.next_batch(&dist, 32).unwrap();
+        assert_eq!(ba.data(), bb.data());
+    }
+    assert_eq!(a.step(), 4);
+}
