@@ -25,6 +25,17 @@ echo "==> observability smoke: traced 2-rank training step"
 timeout --kill-after=30 120 \
     cargo run --release -p models --example trace_training_step -- target/trace_smoke.json
 
+echo "==> step attribution: measured-vs-modeled phase split on 4 ranks"
+# Calibrates per-phase alpha-beta models from fault-free runs, predicts
+# the phase split at a larger scale through simnet's serial step chain,
+# then validates the prediction against a real run — and reruns with an
+# injected 15 ms straggler, which attribution must name the critical
+# rank and whose stall must be booked as the victims' blocked wait.
+# Writes a validated Chrome trace (stitched op keys included) plus a
+# flight-recorder dump, and self-checks every property.
+timeout --kill-after=30 300 \
+    cargo run --release -p models --example step_attribution -- target/step_attribution.json
+
 echo "==> chaos suite (single-threaded tensor backend)"
 TENSOR_THREADS=1 timeout --kill-after=30 300 \
     cargo test -q -p collectives --test chaos --test faults
@@ -40,6 +51,13 @@ echo "==> compute-bench gate: packed GEMM GFLOPS floors"
 # per-dim minimum baked into the binary, so a microkernel regression
 # fails CI instead of silently shipping slower GEMMs.
 timeout --kill-after=30 300 cargo bench -q -p bench --bench harness
+
+echo "==> flight-recorder budget: always-on ring overhead"
+# Prices the per-event seqlock push, counts the ring events one real
+# forward records, and asserts the always-on recording costs < 2% of a
+# forward with the recorder on and off; also times obs::attrib over a
+# real 4-rank session. Rewrites BENCH_attrib.json.
+timeout --kill-after=30 300 cargo bench -q -p bench --bench attrib
 
 echo "==> conformance: workspace invariant linter"
 # Static gates: no std::sync locks outside shims/, no unjustified
@@ -69,9 +87,12 @@ echo "==> elastic chaos soak: >= 8 seeds x 2-8 ranks under a hang watchdog"
 # ELASTIC_SOAK_WIDE=1 widens the soak to 6- and 8-rank worlds. The GNU
 # timeout watchdog distinguishes a hang (a deadlocked eviction shows up
 # as exit 124/137, surfaced as 124) from an assertion failure (any
-# other non-zero exit, surfaced as 1).
+# other non-zero exit, surfaced as 1). The in-process flight watchdog
+# fires first (9 min) and drains the last-N ring events of every thread
+# to target/flight_elastic_soak.json, so a hang leaves a trace.
 set +e
-ELASTIC_SOAK_WIDE=1 timeout --kill-after=30 600 \
+ELASTIC_SOAK_WIDE=1 FLIGHT_DUMP=target/flight_elastic_soak.json \
+    FLIGHT_WATCHDOG_MS=540000 timeout --kill-after=30 600 \
     cargo test -q -p models --test elastic --test elastic_obs
 soak_rc=$?
 set -e
@@ -92,7 +113,8 @@ echo "==> migration capstone: chaos+skew soak under the lock doctor"
 # hang (exit 124), a broken bit-identity/no-drop/imbalance property as
 # an assertion failure (exit 1).
 set +e
-LOCK_DOCTOR=1 timeout --kill-after=30 600 sh -c '
+LOCK_DOCTOR=1 FLIGHT_DUMP=target/flight_migration.json \
+    FLIGHT_WATCHDOG_MS=540000 timeout --kill-after=30 600 sh -c '
     cargo test -q -p collectives --test migration_fence &&
     cargo test -q -p workloadgen &&
     cargo test -q -p models --test migrate

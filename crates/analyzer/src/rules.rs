@@ -38,6 +38,10 @@ const OBS_RECORD_FNS: [&str; 5] = [
     "set_gauge",
 ];
 
+/// Record fns living one module below `obs` whose name arguments must
+/// also come from the `obs::names` registry.
+const OBS_MODULE_RECORD_FNS: [(&str, &str); 1] = [("flight", "annotate")];
+
 /// Line spans (1-based, inclusive) covered by `#[cfg(test)]` items and
 /// `#[test]` functions. Rules that exempt test code consult this.
 #[derive(Debug, Default)]
@@ -163,25 +167,52 @@ pub fn check_unwrap(toks: &[Token], tests: &TestRegions, out: &mut Vec<Violation
 }
 
 /// `obs-names`: flags string literals inside the parens of an
-/// `obs::<record fn>(…)` call outside test regions. Names must come
-/// from `obs::names`, the single registry the dead-name check audits.
+/// `obs::<record fn>(…)` call outside test regions — span and marker
+/// names included, not just counters. Names must come from
+/// `obs::names`, the single registry the dead-name check audits.
+/// Record fns one module deep (`obs::flight::annotate`) are matched
+/// via [`OBS_MODULE_RECORD_FNS`].
 pub fn check_obs_names(toks: &[Token], tests: &TestRegions, out: &mut Vec<Violation>) {
     let mut i = 0usize;
     while i + 4 < toks.len() {
-        let is_call = toks[i].is_ident("obs")
-            && toks[i + 1].is_punct(':')
-            && toks[i + 2].is_punct(':')
-            && toks[i + 3]
-                .ident()
-                .is_some_and(|n| OBS_RECORD_FNS.contains(&n))
-            && toks[i + 4].is_punct('(');
-        if !is_call || tests.contains(toks[i].line) {
+        let (fn_name, open) =
+            if toks[i].is_ident("obs") && toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':') {
+                let direct = toks[i + 3]
+                    .ident()
+                    .filter(|n| OBS_RECORD_FNS.contains(n))
+                    .filter(|_| toks[i + 4].is_punct('('));
+                let nested = if i + 7 < toks.len()
+                    && toks[i + 4].is_punct(':')
+                    && toks[i + 5].is_punct(':')
+                    && toks[i + 7].is_punct('(')
+                {
+                    toks[i + 3]
+                        .ident()
+                        .zip(toks[i + 6].ident())
+                        .filter(|&(m, f)| OBS_MODULE_RECORD_FNS.contains(&(m, f)))
+                } else {
+                    None
+                };
+                if let Some(f) = direct {
+                    (Some(f.to_string()), i + 5)
+                } else if let Some((m, f)) = nested {
+                    (Some(format!("{m}::{f}")), i + 8)
+                } else {
+                    (None, 0)
+                }
+            } else {
+                (None, 0)
+            };
+        let Some(fn_name) = fn_name else {
+            i += 1;
+            continue;
+        };
+        if tests.contains(toks[i].line) {
             i += 1;
             continue;
         }
-        let fn_name = toks[i + 3].ident().unwrap_or_default().to_string();
         let mut depth = 1i32;
-        let mut j = i + 5;
+        let mut j = open;
         while j < toks.len() && depth > 0 {
             match &toks[j].tok {
                 Tok::Punct('(') => depth += 1,

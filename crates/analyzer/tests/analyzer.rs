@@ -59,12 +59,18 @@ fn obs_names_fixture_is_caught() {
     assert_eq!(
         keyed(&violations),
         [
-            ("obs-names", 4), // "fsmoe" literal category
-            ("obs-names", 6), // "rogue.counter"
-            ("obs-names", 7), // literal inside format! inside the call
+            ("obs-names", 4),  // "fsmoe" literal category
+            ("obs-names", 6),  // "rogue.counter"
+            ("obs-names", 7),  // literal inside format! inside the call
+            ("obs-names", 18), // literal marker via obs::flight::annotate
         ]
     );
     assert!(violations[1].message.contains("rogue.counter"));
+    assert!(
+        violations[3].message.contains("flight::annotate"),
+        "nested record fns report their full path: {}",
+        violations[3].message
+    );
 }
 
 #[test]

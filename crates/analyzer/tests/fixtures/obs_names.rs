@@ -13,3 +13,11 @@ fn fine() {
     let name = "not a call argument";
     let _ = name;
 }
+
+fn bad_nested() {
+    obs::flight::annotate("rogue.marker");
+}
+
+fn fine_nested() {
+    obs::flight::annotate(obs::names::FLIGHT_WATCHDOG);
+}

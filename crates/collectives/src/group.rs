@@ -77,9 +77,19 @@ struct OpState {
     poisoned: Option<usize>,
 }
 
+/// Process-global group-instance counter: every [`GroupInner`] gets a
+/// unique id, shared by all ranks bound to it (the inner is one `Arc`).
+/// Distinct groups over the *same* rank set (e.g. a dp group and the
+/// world group on a 1-node layout) have independent op streams, so the
+/// id is part of every op key — (ranks, epoch, op_id) alone would
+/// collide across them.
+static NEXT_GID: AtomicU64 = AtomicU64::new(1);
+
 /// Shared state for one communication group.
 #[derive(Debug)]
 pub(crate) struct GroupInner {
+    /// This group instance's process-unique id (see [`NEXT_GID`]).
+    gid: u64,
     ranks: Vec<usize>,
     state: Mutex<OpState>,
     cond: Condvar,
@@ -90,9 +100,8 @@ pub(crate) struct GroupInner {
     /// one consistent stream.
     streams: Vec<AtomicU64>,
     /// Per-member marker of the last op-stream position *attempted*
-    /// (stored as position + 1, so 0 means "never"). Only maintained
-    /// while the obs registry is enabled; re-attempting a position is
-    /// what the `collectives.retries` counter measures.
+    /// (stored as position + 1, so 0 means "never"). Re-attempting a
+    /// position is what the `collectives.retries` counter measures.
     attempts: Vec<AtomicU64>,
 }
 
@@ -100,6 +109,7 @@ impl GroupInner {
     pub(crate) fn new(ranks: Vec<usize>, ctrl: &Arc<WorldCtrl>) -> Self {
         let n = ranks.len();
         GroupInner {
+            gid: NEXT_GID.fetch_add(1, Ordering::Relaxed),
             ranks,
             state: Mutex::new(OpState {
                 phase: Phase::Collecting(0),
@@ -120,6 +130,28 @@ impl GroupInner {
     /// events (deaths, membership fences) are observed promptly.
     pub(crate) fn wake_all(&self) {
         self.cond.notify_all();
+    }
+}
+
+/// Bumps the per-error-kind obs counter for a failed collective, and —
+/// on the one unrecoverable kind, `Poisoned` (a peer panicked
+/// mid-collective) — captures a flight-recorder post-mortem (no-op
+/// unless `$FLIGHT_DUMP` is set). Shared by every error exit out of
+/// [`GroupComm::run`], so early fault-gate failures count like
+/// rendezvous failures.
+fn record_error_counters(err: &CommError) {
+    let counter = match err {
+        CommError::Timeout { .. } => Some(obs::names::COLLECTIVES_TIMEOUTS),
+        CommError::Abandoned { .. } => Some(obs::names::COLLECTIVES_ABANDONED),
+        CommError::Poisoned { .. } => Some(obs::names::COLLECTIVES_POISONED),
+        CommError::RankDown { .. } => Some(obs::names::COLLECTIVES_RANK_DOWN),
+        _ => None,
+    };
+    if let Some(name) = counter {
+        obs::counter_add(name, 1);
+    }
+    if matches!(err, CommError::Poisoned { .. }) {
+        obs::flight::try_dump("poisoned");
     }
 }
 
@@ -312,19 +344,30 @@ impl GroupComm {
         }
     }
 
-    /// [`GroupComm::run_inner`] wrapped in observability: exactly one
-    /// success span per completed op (error and withdraw/retry paths
-    /// record *no* span), a `collectives.retries` increment whenever an
-    /// op-stream position is attempted again, and per-error-kind
-    /// counters. All of it melts to one atomic load when `obs` is
-    /// disabled.
-    fn run<F>(&self, tag: OpTag, input: Vec<f32>, compute: F) -> Result<Vec<f32>>
+    /// [`GroupComm::run_inner`] wrapped in fault injection and
+    /// observability: exactly one success span per completed op (error
+    /// and withdraw/retry paths record *no* span), stamped with the op's
+    /// world-wide key ([`obs::names::op_key`]) so `obs::attrib` can
+    /// stitch per-rank timelines; a `collectives.retries` increment
+    /// whenever an op-stream position is attempted again; per-error-kind
+    /// counters; and a flight-recorder dump on the one unrecoverable
+    /// error (`Poisoned`).
+    ///
+    /// The injector consult lives *here*, before the span opens — an
+    /// injected straggler delay is this rank arriving late, not wire
+    /// time, so the span start must be the true arrival time. The
+    /// preceding dead/fence gates replicate [`GroupComm::run_inner`]'s
+    /// own (which it keeps — faults must never be consumed by a rank
+    /// that could not have run the op anyway).
+    fn run<F>(&self, tag: OpTag, mut input: Vec<f32>, compute: F) -> Result<Vec<f32>>
     where
         F: FnOnce(&[Vec<f32>]) -> Vec<Vec<f32>>,
     {
-        if !obs::is_enabled() {
-            return self.run_inner(tag, input, compute);
+        if let Err(err) = self.fault_gates(&mut input) {
+            record_error_counters(&err);
+            return Err(err);
         }
+
         let pos = self.op_stream_position();
         let marker = self.inner.attempts[self.index].swap(pos + 1, Ordering::Relaxed);
         if marker == pos + 1 {
@@ -335,50 +378,38 @@ impl GroupComm {
         match self.run_inner(tag, input, compute) {
             Ok(out) => {
                 let mut span = span;
-                span.attr("rank", self.global_rank);
-                span.attr("group", format_args!("{:?}", self.inner.ranks));
-                span.attr("op_id", pos);
-                span.attr("bytes", bytes);
+                if obs::is_enabled() {
+                    span.attr("rank", self.global_rank);
+                    span.attr("group", format_args!("{:?}", self.inner.ranks));
+                    span.attr("op_id", pos);
+                    span.attr("bytes", bytes);
+                    span.attr(
+                        "op_key",
+                        obs::names::op_key(
+                            self.inner.gid,
+                            self.inner.ctrl.epoch(),
+                            &self.inner.ranks,
+                            pos,
+                        ),
+                    );
+                }
                 span.commit();
                 Ok(out)
             }
             Err(err) => {
                 span.cancel();
-                let counter = match &err {
-                    CommError::Timeout { .. } => Some(obs::names::COLLECTIVES_TIMEOUTS),
-                    CommError::Abandoned { .. } => Some(obs::names::COLLECTIVES_ABANDONED),
-                    CommError::Poisoned { .. } => Some(obs::names::COLLECTIVES_POISONED),
-                    CommError::RankDown { .. } => Some(obs::names::COLLECTIVES_RANK_DOWN),
-                    _ => None,
-                };
-                if let Some(name) = counter {
-                    obs::counter_add(name, 1);
-                }
+                record_error_counters(&err);
                 Err(err)
             }
         }
     }
 
-    /// The core rendezvous: deposit `input`, wait for all members, let the
-    /// last arrival compute all outputs with `compute`, then take ours.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CommError::RankDown`] when this rank or a peer is dead,
-    /// [`CommError::Timeout`] when the armed deadline expires,
-    /// [`CommError::Poisoned`] when a member panicked mid-collective, and
-    /// [`CommError::Abandoned`] when peers have already skipped past this
-    /// rank's op in the group's op stream.
-    ///
-    /// # Panics
-    ///
-    /// Panics when members concurrently issue different collectives on the
-    /// same group (an SPMD violation); the group is poisoned first so
-    /// peers error out rather than deadlock.
-    fn run_inner<F>(&self, tag: OpTag, mut input: Vec<f32>, compute: F) -> Result<Vec<f32>>
-    where
-        F: FnOnce(&[Vec<f32>]) -> Vec<Vec<f32>>,
-    {
+    /// The pre-rendezvous fault gates [`GroupComm::run`] applies before
+    /// its collective span opens: dead-rank fail-fast, eviction fence,
+    /// then the injector consult — exactly the order `run_inner` used to
+    /// apply them, so faults are never consumed by a rank that could not
+    /// have run the op anyway.
+    fn fault_gates(&self, input: &mut [f32]) -> Result<()> {
         let ctrl = &self.inner.ctrl;
         if ctrl.is_dead(self.global_rank) {
             return Err(CommError::RankDown {
@@ -386,8 +417,6 @@ impl GroupComm {
             });
         }
         if let Some(err) = ctrl.reconfig_error() {
-            // The world was fenced by a completed eviction: no collective
-            // on it can ever complete again.
             return Err(err);
         }
         if let Some(injector) = ctrl.injector() {
@@ -407,6 +436,43 @@ impl GroupComm {
                 Some(FaultAction::DropPayload) => input.iter_mut().for_each(|v| *v = 0.0),
                 None => {}
             }
+        }
+        Ok(())
+    }
+
+    /// The core rendezvous: deposit `input`, wait for all members, let the
+    /// last arrival compute all outputs with `compute`, then take ours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankDown`] when this rank or a peer is dead,
+    /// [`CommError::Timeout`] when the armed deadline expires,
+    /// [`CommError::Poisoned`] when a member panicked mid-collective, and
+    /// [`CommError::Abandoned`] when peers have already skipped past this
+    /// rank's op in the group's op stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when members concurrently issue different collectives on the
+    /// same group (an SPMD violation); the group is poisoned first so
+    /// peers error out rather than deadlock.
+    fn run_inner<F>(&self, tag: OpTag, input: Vec<f32>, compute: F) -> Result<Vec<f32>>
+    where
+        F: FnOnce(&[Vec<f32>]) -> Vec<Vec<f32>>,
+    {
+        let ctrl = &self.inner.ctrl;
+        // Redundant with [`GroupComm::run`]'s gates, deliberately: the
+        // checks are cheap, and keeping them here means no path into the
+        // rendezvous can skip them.
+        if ctrl.is_dead(self.global_rank) {
+            return Err(CommError::RankDown {
+                rank: self.global_rank,
+            });
+        }
+        if let Some(err) = ctrl.reconfig_error() {
+            // The world was fenced by a completed eviction: no collective
+            // on it can ever complete again.
+            return Err(err);
         }
 
         let op = tag.name();

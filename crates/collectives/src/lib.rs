@@ -109,6 +109,7 @@ where
     T: Send + 'static,
     F: Fn(Communicator) -> T + Send + Sync + 'static,
 {
+    obs::flight::init_from_env();
     let f = std::sync::Arc::new(f);
     let handles: Vec<_> = world
         .into_communicators()
@@ -116,9 +117,9 @@ where
         .map(|comm| {
             let f = std::sync::Arc::clone(&f);
             std::thread::spawn(move || {
-                if obs::is_enabled() {
-                    obs::set_thread_name(&format!("rank {}", comm.rank()));
-                }
+                // Unconditional: the flight recorder labels rank rows in
+                // post-mortem dumps even with the registry disabled.
+                obs::set_thread_name(&format!("rank {}", comm.rank()));
                 f(comm)
             })
         })
@@ -146,6 +147,7 @@ where
     T: Send + 'static,
     F: Fn(Communicator) -> T + Send + Sync + 'static,
 {
+    obs::flight::init_from_env();
     let size = world.size();
     let f = std::sync::Arc::new(f);
     let (tx, rx) = std::sync::mpsc::channel();
@@ -154,9 +156,7 @@ where
         let tx = tx.clone();
         std::thread::spawn(move || {
             let rank = comm.rank();
-            if obs::is_enabled() {
-                obs::set_thread_name(&format!("rank {rank}"));
-            }
+            obs::set_thread_name(&format!("rank {rank}"));
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
             let _ = tx.send((rank, result));
         });
@@ -178,6 +178,9 @@ where
                     .filter(|(_, s)| s.is_none())
                     .map(|(i, _)| i)
                     .collect();
+                // Drain the flight rings *before* the panic unwinds the
+                // harness: the hung ranks' open spans are the diagnosis.
+                obs::flight::try_dump("watchdog");
                 panic!(
                     "watchdog: ranks {missing:?} still running after {budget:?} — collective hang"
                 );

@@ -207,6 +207,9 @@ fn histogram_json(h: &Histogram) -> Json {
         ("min", Json::from(h.min)),
         ("max", Json::from(h.max)),
         ("mean", Json::from(h.mean())),
+        ("p50", Json::from(h.quantile(0.50))),
+        ("p95", Json::from(h.quantile(0.95))),
+        ("p99", Json::from(h.quantile(0.99))),
         (
             "buckets",
             Json::Arr(h.buckets.iter().map(|&n| Json::from(n as f64)).collect()),

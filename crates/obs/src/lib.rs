@@ -55,7 +55,9 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, MutexGuard};
 
+pub mod attrib;
 mod chrome;
+pub mod flight;
 pub mod names;
 mod validate;
 
@@ -144,6 +146,36 @@ impl Histogram {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) of the recorded
+    /// samples: a cumulative walk over the power-of-two buckets with
+    /// linear interpolation inside the landing bucket. The result is
+    /// clamped to the exact recorded `[min, max]`, so `quantile(0.0)`
+    /// and `quantile(1.0)` are exact. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if next as f64 >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max);
+                let frac = (target - cum as f64) / n as f64;
+                return (lo + (hi - lo).max(0.0) * frac).clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
     }
 }
 
@@ -237,9 +269,12 @@ impl Drop for Session {
     }
 }
 
-/// Names the calling thread in trace exports (e.g. `"rank 3"`).
-/// No-op while disabled.
+/// Names the calling thread in trace exports (e.g. `"rank 3"`). The
+/// flight recorder notes the name unconditionally (its dumps must label
+/// rank rows post-mortem); the registry itself only stores it while
+/// enabled.
 pub fn set_thread_name(name: &str) {
+    flight::note_thread_name(name);
     if !is_enabled() {
         return;
     }
@@ -260,8 +295,16 @@ struct ActiveSpan {
 /// An RAII timed region. Created by [`span`] (records when dropped) or
 /// [`deferred_span`] (records only on [`Span::commit`] — dropping
 /// discards, which is how error paths avoid emitting success spans).
+///
+/// Independently of the registry, every span also leaves a begin/end
+/// pair in the always-on [`flight`] ring (cancelled and discarded spans
+/// included — the flight recorder answers "what was this thread
+/// *doing*", not "what succeeded").
 pub struct Span {
     active: Option<ActiveSpan>,
+    /// Packed flight-recorder ids from [`flight::on_span_begin`]
+    /// (0 = recorder was off at open).
+    flight: u64,
 }
 
 impl Span {
@@ -289,6 +332,10 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.flight != 0 {
+            flight::on_span_end(self.flight);
+            self.flight = 0;
+        }
         if let Some(active) = self.active.take() {
             if active.record_on_drop {
                 record_span(&active);
@@ -298,8 +345,12 @@ impl Drop for Span {
 }
 
 fn new_span(cat: &'static str, name: &'static str, record_on_drop: bool) -> Span {
+    let flight = flight::on_span_begin(cat, name);
     if !is_enabled() {
-        return Span { active: None };
+        return Span {
+            active: None,
+            flight,
+        };
     }
     Span {
         active: Some(ActiveSpan {
@@ -309,6 +360,7 @@ fn new_span(cat: &'static str, name: &'static str, record_on_drop: bool) -> Span
             attrs: Vec::new(),
             record_on_drop,
         }),
+        flight,
     }
 }
 
@@ -349,8 +401,10 @@ fn record_span(active: &ActiveSpan) {
 
 // --- metrics ----------------------------------------------------------
 
-/// Adds `delta` to the monotonic counter `name`. No-op while disabled.
+/// Adds `delta` to the monotonic counter `name`. No-op in the registry
+/// while disabled; the delta still lands in the [`flight`] ring.
 pub fn counter_add(name: &str, delta: u64) {
+    flight::on_counter(name, delta);
     if !is_enabled() {
         return;
     }
@@ -491,12 +545,15 @@ impl Snapshot {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "hist {name} count={} sum={} min={} max={} mean={}\n",
+                "hist {name} count={} sum={} min={} max={} mean={} p50={} p95={} p99={}\n",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
             ));
             for (i, &n) in h.buckets.iter().enumerate() {
                 if n == 0 {

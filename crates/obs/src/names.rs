@@ -73,6 +73,23 @@ pub const SPAN_COMBINE: &str = "combine";
 pub const BENCH_SPAN_NOOP: &str = "noop";
 /// Histogram: the bench harness's empty probe histogram.
 pub const BENCH_HIST_NOOP: &str = "bench.noop";
+/// Counter: the bench harness's empty probe counter (flight-recorder
+/// per-event cost measurement).
+pub const BENCH_COUNTER_NOOP: &str = "bench.noop.count";
+
+// --- flight recorder --------------------------------------------------
+
+/// Trace category (and process name) of flight-recorder dumps.
+pub const CAT_FLIGHT: &str = "flight";
+/// Span: the zero-duration marker every flight dump stamps on itself,
+/// so even an otherwise-empty dump is a valid trace.
+pub const FLIGHT_DUMP_SPAN: &str = "flight.dump";
+/// Marker: a panic hook fired (recorded just before the dump drains).
+pub const FLIGHT_PANIC: &str = "flight.panic";
+/// Marker: the in-process hang watchdog fired.
+pub const FLIGHT_WATCHDOG: &str = "flight.watchdog";
+/// Counter: flight-recorder dumps taken this process.
+pub const FLIGHT_DUMPS: &str = "flight.dumps";
 
 // --- counters and gauges ----------------------------------------------
 
@@ -112,6 +129,24 @@ pub const MOE_IMBALANCE_RATIO: &str = "moe.imbalance_ratio";
 /// Counter: completed migration fences (one per world-wide quiesce).
 pub const COLLECTIVES_MIGRATION_FENCES: &str = "collectives.migration_fences";
 
+/// Gauge: mean per-step expert-compute time across ranks, µs (published
+/// by `obs::attrib`).
+pub const STEP_ATTRIB_COMPUTE_US: &str = "step.attrib.compute_us";
+/// Gauge: mean per-step wire time (post-last-arrival collective time)
+/// across ranks, µs.
+pub const STEP_ATTRIB_WIRE_US: &str = "step.attrib.wire_us";
+/// Gauge: mean per-step blocked-wait (straggler) time across ranks, µs.
+pub const STEP_ATTRIB_WAIT_US: &str = "step.attrib.wait_us";
+/// Gauge: mean per-step overlap credit (compute concurrent with wire)
+/// across ranks, µs.
+pub const STEP_ATTRIB_OVERLAP_US: &str = "step.attrib.overlap_us";
+/// Gauge: mean per-step unattributed remainder across ranks, µs.
+pub const STEP_ATTRIB_OTHER_US: &str = "step.attrib.other_us";
+/// Gauge: the modal critical rank across attributed steps.
+pub const STEP_ATTRIB_CRITICAL_RANK: &str = "step.attrib.critical_rank";
+/// Gauge: how many world steps the attribution walked.
+pub const STEP_ATTRIB_STEPS: &str = "step.attrib.steps";
+
 /// Counter: potential-deadlock cycles in the lock-order graph
 /// (published by [`crate::publish_lock_doctor`]).
 pub const LOCKDOCTOR_CYCLES: &str = "lockdoctor.cycles";
@@ -150,4 +185,33 @@ pub fn profiler_beta(op: &str) -> String {
 #[must_use]
 pub fn profiler_r_squared(op: &str) -> String {
     format!("profiler.{op}.r_squared")
+}
+
+/// Span attribute: the globally unique key of one collective op —
+/// `g{group}.e{epoch}[{ranks}]#{op_id}`, identical on every
+/// participating rank. The group instance id disambiguates distinct
+/// groups over the same rank set, the membership epoch disambiguates
+/// op streams across elastic reconfigurations, and `op_id` is the
+/// rank's op-stream position. `validate_trace` checks cross-rank
+/// consistency of these keys; `obs::attrib` stitches per-rank
+/// timelines on them.
+#[must_use]
+pub fn op_key(group: u64, epoch: u64, ranks: &[usize], op_id: u64) -> String {
+    use std::fmt::Write as _;
+    let mut key = format!("g{group}.e{epoch}[");
+    for (i, r) in ranks.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let _ = write!(key, "{r}");
+    }
+    let _ = write!(key, "]#{op_id}");
+    key
+}
+
+/// Gauge: measured-vs-modeled drift of one attributed phase, percent
+/// (`obs::attrib::publish_drift`).
+#[must_use]
+pub fn attrib_model_drift_pct(phase: &str) -> String {
+    format!("attrib.model_drift_pct.{phase}")
 }

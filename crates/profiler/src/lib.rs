@@ -12,8 +12,12 @@
 //!   captions report;
 //! * [`cpu`] measures *real wall-clock time* of this machine's GEMM
 //!   (the `tensor` crate's matmul) and fits the same model — the genuine
-//!   online-profiling path a user of the library runs on new hardware.
+//!   online-profiling path a user of the library runs on new hardware;
+//! * [`comm`] does the same for the in-tree collectives, timing the real
+//!   thread-backed data plane over a payload sweep so the communication
+//!   α–β coefficients are measured, not assumed.
 
+pub mod comm;
 pub mod cpu;
 pub mod microbench;
 

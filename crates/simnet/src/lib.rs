@@ -44,6 +44,7 @@ mod error;
 mod gantt;
 mod migrate;
 mod reconfig;
+mod stepmodel;
 mod task;
 mod testbed;
 mod trace;
@@ -54,6 +55,7 @@ pub use error::SimError;
 pub use gantt::render_gantt;
 pub use migrate::{add_migration_tasks, price_migration, MigrationCost};
 pub use reconfig::{add_reconfiguration_tasks, price_reconfiguration, ReconfigCost};
+pub use stepmodel::{StepModel, StepPrediction};
 pub use task::{ResourceId, Task, TaskGraph, TaskId};
 pub use testbed::{Testbed, TestbedKind};
 pub use trace::{timeline_trace, SIMNET_PID};

@@ -1,0 +1,120 @@
+//! Modeled timeline of one unoverlapped MoE training step.
+//!
+//! `obs::attrib` measures where a real step's wall time went; this
+//! module produces the *prediction* that measurement is checked against.
+//! Given per-phase α–β models — expert compute and wire (dispatch +
+//! combine AlltoAll) fitted against the same workload axis — it lowers
+//! the serial forward chain `dispatch → experts → combine` onto the
+//! simulator and reports the modeled phase split. A real run whose
+//! attribution drifts far from this prediction has behaviour the model
+//! does not capture (a straggler, contention, a scheduling bug).
+
+use crate::{CostModel, Engine, SimError, TaskGraph};
+
+/// Per-phase α–β models of one training step.
+///
+/// Both models must be fitted against the same workload axis `n`
+/// (tokens, bytes, FLOPs — the caller's choice; only consistency
+/// matters). `wire` prices the step's *total* collective time; the
+/// lowering splits it evenly between the dispatch and combine tasks,
+/// matching how `obs::attrib` measures the two jointly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepModel {
+    /// Expert compute time vs. workload.
+    pub compute: CostModel,
+    /// Total per-step collective (dispatch + combine) time vs. workload.
+    pub wire: CostModel,
+}
+
+/// The modeled split of one step at a given workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepPrediction {
+    /// End-to-end modeled step time.
+    pub wall: f64,
+    /// Modeled expert-compute share.
+    pub compute: f64,
+    /// Modeled wire share.
+    pub wire: f64,
+}
+
+impl StepModel {
+    /// Lowers `steps` consecutive unoverlapped steps at workload `n`
+    /// onto a task graph: one compute stream, one link, and per step the
+    /// serial chain `dispatch → experts → combine` (each step's dispatch
+    /// depends on the previous step's combine).
+    pub fn graph(&self, n: f64, steps: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let gpu = g.add_resource("rank.compute");
+        let link = g.add_resource("rank.nic");
+        let half_wire = (self.wire.time(n) / 2.0).max(0.0);
+        let compute = self.compute.time(n).max(0.0);
+        let mut prev = None;
+        for step in 0..steps.max(1) {
+            let deps: Vec<_> = prev.into_iter().collect();
+            let dispatch = g.add_task(format!("step{step}.dispatch"), link, half_wire, &deps);
+            let experts = g.add_task(format!("step{step}.experts"), gpu, compute, &[dispatch]);
+            let combine = g.add_task(format!("step{step}.combine"), link, half_wire, &[experts]);
+            prev = Some(combine);
+        }
+        g
+    }
+
+    /// Simulates one step at workload `n` and returns the modeled split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (impossible for the serial chain this
+    /// builds, but the signature keeps the engine's contract visible).
+    pub fn predict(&self, n: f64) -> Result<StepPrediction, SimError> {
+        let timeline = Engine::new().simulate(&self.graph(n, 1))?;
+        Ok(StepPrediction {
+            wall: timeline.makespan(),
+            compute: self.compute.time(n).max(0.0),
+            wire: self.wire.time(n).max(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> StepModel {
+        StepModel {
+            compute: CostModel::new(1.0, 0.002),
+            wire: CostModel::new(0.5, 0.001),
+        }
+    }
+
+    #[test]
+    fn serial_chain_wall_is_the_sum_of_phases() {
+        let m = model();
+        let p = m.predict(1000.0).expect("serial chain simulates");
+        assert!((p.compute - 3.0).abs() < 1e-9);
+        assert!((p.wire - 1.5).abs() < 1e-9);
+        assert!(
+            (p.wall - (p.compute + p.wire)).abs() < 1e-9,
+            "no overlap in the serial chain: {p:?}"
+        );
+    }
+
+    #[test]
+    fn multi_step_graph_scales_linearly() {
+        let m = model();
+        let one = Engine::new()
+            .simulate(&m.graph(1000.0, 1))
+            .expect("one step")
+            .makespan();
+        let three = Engine::new()
+            .simulate(&m.graph(1000.0, 3))
+            .expect("three steps")
+            .makespan();
+        assert!((three - 3.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_workload_still_pays_startup() {
+        let p = model().predict(0.0).expect("zero workload simulates");
+        assert!((p.wall - 1.5).abs() < 1e-9, "α terms only: {p:?}");
+    }
+}
