@@ -129,6 +129,46 @@ elif [ "$migrate_rc" -ne 0 ]; then
     exit 1
 fi
 
+echo "==> gray-failure smoke: 4-rank run surviving a browned-out rank"
+# Rank 3 limps (~5 ms per collective) but never dies. The health
+# monitor scores it from all-reduced self-times, the ladder logs then
+# quarantines it (draining a hot expert off it), the gray-failure
+# pricing flips, and the fleet performs a live eviction. The example
+# self-validates SPMD-identical scores, the health counters, the
+# reconfigure spans, bit-identity against a fresh 3-rank world, and the
+# exported trace.
+timeout --kill-after=30 180 \
+    cargo run --release -p models --example gray_failure -- target/gray_failure.json
+
+echo "==> gray-failure soak: brownouts + escalation ladder under the lock doctor"
+# The brownout chaos proptests (collectives) plus the trainer-level
+# gray-failure soak: per-seed brownout magnitudes and pricing horizons
+# force both ladder outcomes — limp to completion when eviction never
+# amortizes, or one clean live eviction with bit-identical survivors.
+# Lock-order tracking is armed; a wedged eviction surfaces as a hang
+# (exit 124), a broken property as an assertion failure (exit 1).
+set +e
+LOCK_DOCTOR=1 timeout --kill-after=30 600 sh -c '
+    cargo test -q -p collectives --test deadline &&
+    cargo test -q -p models --test health
+'
+gray_rc=$?
+set -e
+if [ "$gray_rc" -eq 124 ] || [ "$gray_rc" -eq 137 ]; then
+    echo "gray-failure soak HANG (watchdog fired)" >&2
+    exit 124
+elif [ "$gray_rc" -ne 0 ]; then
+    echo "gray-failure soak FAILED (assertion)" >&2
+    exit 1
+fi
+
+echo "==> throughput-recovery budget: brownout detection to full speed"
+# Times a healthy 4-rank fleet, then the same fleet with rank 3 browned
+# out and the defense armed: the run must quarantine, evict, and settle
+# at >= 90% of the healthy step rate within 20 steps of the eviction,
+# bit-identical to a fresh 3-rank world. Rewrites BENCH_health.json.
+timeout --kill-after=30 300 cargo bench -q -p bench --bench health
+
 echo "==> migration pause budget: fence-to-resume wall time"
 # Measures the end-to-end training pause of one hot-expert migration on
 # a 4-rank world (max across ranks, best of 5) against the enforced

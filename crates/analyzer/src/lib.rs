@@ -17,6 +17,10 @@
 //! * `obs-dead-name` — registry consts nothing references;
 //! * `comm-wildcard` — `_ =>` arms in `CommError` matches in the
 //!   crates that must distinguish `Reconfigured`/`Abandoned`;
+//! * `deadline-literals` — hardcoded `Duration::from_*` in
+//!   `crates/collectives/src` outside the deadline controller (op
+//!   budgets belong to the `DeadlineController`; non-budget durations
+//!   carry a line-scoped allow naming what they are);
 //! * `allow-needs-reason` — an allow directive without justification.
 //!
 //! # Allow policy
@@ -35,8 +39,9 @@ pub mod rules;
 
 use lexer::tokenize;
 use rules::{
-    check_comm_wildcard, check_dead_names, check_obs_names, check_std_sync, check_unwrap,
-    ident_set, registry_consts, rules_for, test_regions, RULE_ALLOW_REASON, RULE_OBS_DEAD_NAME,
+    check_comm_wildcard, check_dead_names, check_deadline_literals, check_obs_names,
+    check_std_sync, check_unwrap, ident_set, registry_consts, rules_for, test_regions,
+    RULE_ALLOW_REASON, RULE_OBS_DEAD_NAME,
 };
 
 /// One lint finding.
@@ -82,6 +87,10 @@ pub enum FileClass {
     Shim,
     /// `crates/obs/**` — hosts the registry itself; only the sync ban.
     ObsCrate,
+    /// `crates/collectives/src/deadline.rs` — the one collectives file
+    /// allowed to hold duration literals (it *is* the budget policy);
+    /// still unwrap-guarded.
+    DeadlineController,
     /// `crates/collectives/src/**` — unwrap-guarded distributed core.
     GuardedSource,
     /// `crates/fsmoe/src/dist.rs` — unwrap-guarded *and* must
@@ -105,6 +114,8 @@ pub fn classify(rel: &str) -> FileClass {
         FileClass::ObsCrate
     } else if rel.contains("/tests/") {
         FileClass::Test
+    } else if rel == "crates/collectives/src/deadline.rs" {
+        FileClass::DeadlineController
     } else if rel.starts_with("crates/collectives/src/") {
         FileClass::GuardedSource
     } else if rel == "crates/fsmoe/src/dist.rs" {
@@ -198,6 +209,7 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
                 rules::RULE_UNWRAP => check_unwrap(&toks, &tests, &mut raw),
                 rules::RULE_OBS_NAMES => check_obs_names(&toks, &tests, &mut raw),
                 rules::RULE_COMM_WILDCARD => check_comm_wildcard(&toks, &tests, &mut raw),
+                rules::RULE_DEADLINE_LITERALS => check_deadline_literals(&toks, &tests, &mut raw),
                 _ => {}
             }
         }

@@ -20,6 +20,9 @@ pub const RULE_OBS_DEAD_NAME: &str = "obs-dead-name";
 pub const RULE_COMM_WILDCARD: &str = "comm-wildcard";
 /// Rule id: a `// lint: allow(...)` directive with no justification.
 pub const RULE_ALLOW_REASON: &str = "allow-needs-reason";
+/// Rule id: hardcoded `Duration::from_*` in `collectives/src` outside
+/// the deadline controller.
+pub const RULE_DEADLINE_LITERALS: &str = "deadline-literals";
 
 /// The std primitives that must come from `shims/parking_lot` instead
 /// (the lock doctor instruments the shim — a std lock is invisible to
@@ -357,6 +360,34 @@ fn check_match_body(
     j
 }
 
+/// `deadline-literals`: flags `Duration :: from_*(…)` constructions in
+/// the guarded collectives core outside test regions. Adaptive budgets
+/// made static per-op deadlines legacy: a hardcoded duration in
+/// `collectives/src` is either an op budget that belongs in the
+/// `DeadlineController` (the one exempt file) or a genuine non-budget
+/// constant that must carry a line-scoped allow naming its purpose.
+pub fn check_deadline_literals(toks: &[Token], tests: &TestRegions, out: &mut Vec<Violation>) {
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        if toks[i].is_ident("Duration") && toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':') {
+            if let Some(name) = toks[i + 3].ident() {
+                if name.starts_with("from_") && !tests.contains(toks[i].line) {
+                    out.push(Violation::new(
+                        RULE_DEADLINE_LITERALS,
+                        toks[i].line,
+                        format!(
+                            "Duration::{name} — op budgets come from the DeadlineController \
+                             (collectives/src/deadline.rs); a true non-budget duration needs \
+                             `// lint: allow(deadline-literals) — <what it is>`"
+                        ),
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
 /// Extracts the `pub const NAME` declarations from the registry module
 /// (`crates/obs/src/names.rs`) as `(name, line)` pairs.
 #[must_use]
@@ -407,7 +438,13 @@ pub fn rules_for(class: FileClass) -> &'static [&'static str] {
     match class {
         FileClass::Shim => &[],
         FileClass::ObsCrate => &[RULE_STD_SYNC],
-        FileClass::GuardedSource => &[RULE_STD_SYNC, RULE_UNWRAP, RULE_OBS_NAMES],
+        FileClass::GuardedSource => &[
+            RULE_STD_SYNC,
+            RULE_UNWRAP,
+            RULE_OBS_NAMES,
+            RULE_DEADLINE_LITERALS,
+        ],
+        FileClass::DeadlineController => &[RULE_STD_SYNC, RULE_UNWRAP, RULE_OBS_NAMES],
         FileClass::GuardedCommSource => &[
             RULE_STD_SYNC,
             RULE_UNWRAP,

@@ -87,6 +87,33 @@ fn comm_wildcard_fixture_is_caught_only_on_comm_matches() {
 }
 
 #[test]
+fn deadline_literals_fixture_is_caught_in_collectives_only() {
+    let violations = check_file(
+        "crates/collectives/src/demo.rs",
+        &fixture("deadline_literals.rs"),
+    );
+    // POLL (line 3) and bad_budget's body (line 6) fire; the allowed
+    // FAULT_DELAY is suppressed and the test module is exempt.
+    assert_eq!(
+        keyed(&violations),
+        [("deadline-literals", 3), ("deadline-literals", 6)]
+    );
+    assert!(violations[0].message.contains("DeadlineController"));
+    // The controller itself is exempt — it *is* the budget policy.
+    assert!(check_file(
+        "crates/collectives/src/deadline.rs",
+        &fixture("deadline_literals.rs")
+    )
+    .is_empty());
+    // The rule is scoped to collectives: other crates keep literals.
+    assert!(check_file(
+        "crates/models/src/demo.rs",
+        &fixture("deadline_literals.rs")
+    )
+    .is_empty());
+}
+
+#[test]
 fn dead_name_fixture_is_caught() {
     let registry = registry_consts(&tokenize(&fixture("names_registry.rs")));
     assert_eq!(registry.len(), 2);
@@ -106,6 +133,10 @@ fn classification_matches_the_catalog() {
     assert_eq!(
         classify("crates/collectives/src/group.rs"),
         FileClass::GuardedSource
+    );
+    assert_eq!(
+        classify("crates/collectives/src/deadline.rs"),
+        FileClass::DeadlineController
     );
     assert_eq!(
         classify("crates/fsmoe/src/dist.rs"),

@@ -29,6 +29,13 @@ fn fine_nested(err: &MoeError) -> bool {
 fn fine_underscore_in_pattern(err: &CommError) -> bool {
     match err {
         CommError::RankDown { rank: _ } => true,
-        CommError::Timeout { .. } => false,
+        // Destructuring the timeout's diagnostic fields is not a
+        // wildcard arm — field placeholders stay at paren depth.
+        CommError::Timeout {
+            op: _,
+            waiting_on: _,
+            deadline: _,
+            elapsed: _,
+        } => false,
     }
 }

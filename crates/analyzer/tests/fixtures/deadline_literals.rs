@@ -1,0 +1,19 @@
+//! Fixture: `deadline-literals` — hardcoded durations in collectives.
+
+const POLL: Duration = Duration::from_millis(25);
+
+fn bad_budget() -> Duration {
+    Duration::from_secs(5)
+}
+
+// lint: allow(deadline-literals) — injected fault magnitude, not an op budget
+const FAULT_DELAY: Duration = Duration::from_millis(100);
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literals_in_tests_are_fine() {
+        let d = Duration::from_millis(500);
+        assert!(d > Duration::from_millis(1));
+    }
+}

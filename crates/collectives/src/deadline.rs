@@ -1,0 +1,281 @@
+//! The adaptive deadline controller: per-op collective budgets derived
+//! from profiler α–β fits and observed latency, replacing one static
+//! world-wide deadline.
+//!
+//! A fixed deadline must be generous enough for the slowest op on the
+//! slowest day, which makes it useless for detecting *gray* failures: a
+//! rank limping at 0.5× speed stays comfortably inside a 5 s budget
+//! forever. The controller instead derives each op's budget from what
+//! the op *should* cost — `α + β·bytes` from the profiler's fitted
+//! model — and what it *has* cost recently (a sliding-window p99),
+//! takes the larger, multiplies by a slack factor, and clamps to a
+//! floor/ceiling. Budgets track reality tightly enough that a brownout
+//! shows up as health-score decay (`models::health`) long before it
+//! would trip even these deadlines, while a genuinely dead rank still
+//! trips them fast.
+//!
+//! Every quantity is a pure function of the configuration, the fits and
+//! the observed samples, all of which are identical across ranks in an
+//! SPMD program — so every rank derives the same budget for the same op
+//! and no rank times out while a peer keeps waiting. This file is the
+//! one place in `collectives/src` allowed to hold deadline literals
+//! (the analyzer's `deadline-literals` rule exempts it): every other
+//! op budget must flow through [`DeadlineController::budget`].
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Clamps and slack for [`DeadlineController`] budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineConfig {
+    /// No budget is ever tighter than this, however fast the fits say
+    /// the op should be — scheduler noise needs headroom.
+    pub floor: Duration,
+    /// No budget is ever looser than this; also the budget for an op
+    /// with no fit and no samples yet.
+    pub ceiling: Duration,
+    /// Multiplier over the expected cost (`max(model, p99)`): how many
+    /// times slower than expected an op may run before it is declared
+    /// timed out.
+    pub slack: f64,
+    /// Sliding-window length for per-op observed samples.
+    pub window: usize,
+}
+
+impl Default for DeadlineConfig {
+    fn default() -> Self {
+        DeadlineConfig {
+            floor: Duration::from_millis(50),
+            ceiling: Duration::from_secs(5),
+            slack: 4.0,
+            window: 64,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct OpStats {
+    /// Completed-op durations, µs, most recent last (window-capped).
+    samples_us: VecDeque<u64>,
+    /// Profiler fit for this op: `(alpha_ms, beta_ms_per_byte)`.
+    fit: Option<(f64, f64)>,
+}
+
+impl OpStats {
+    /// p99 of the windowed samples, µs (≈ max for short windows): index
+    /// `ceil(0.99·n) - 1` of the sorted window.
+    fn p99_us(&self) -> Option<u64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<u64> = self.samples_us.iter().copied().collect();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let idx = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+        Some(sorted[idx])
+    }
+}
+
+/// Derives per-op collective budgets from α–β fits and observed p99.
+///
+/// Install one on a world via
+/// [`crate::CommWorld::with_adaptive_deadlines`]; every collective then
+/// asks it for a budget sized to that op's name and payload instead of
+/// using the world's static deadline. The controller is shared by all
+/// ranks (it lives in the world control plane) and survives
+/// reconfiguration — an eviction carries it into the shrunken world, so
+/// budgets stay warm across membership changes.
+#[derive(Debug, Default)]
+pub struct DeadlineController {
+    config: DeadlineConfig,
+    ops: Mutex<HashMap<String, OpStats>>,
+}
+
+impl DeadlineController {
+    /// A controller with the given clamps; no fits, no samples.
+    pub fn new(config: DeadlineConfig) -> Self {
+        DeadlineController {
+            config,
+            ops: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The controller wrapped for installation on a world.
+    pub fn shared(config: DeadlineConfig) -> Arc<Self> {
+        Arc::new(DeadlineController::new(config))
+    }
+
+    /// The configured clamps.
+    pub fn config(&self) -> DeadlineConfig {
+        self.config
+    }
+
+    /// Installs the profiler's α–β fit for `op` (e.g. a span name like
+    /// `"all_to_all"`): `alpha_ms` fixed cost plus `beta_ms_per_byte`
+    /// marginal cost, as `profiler::profile_collective` fits them.
+    pub fn set_fit(&self, op: &str, alpha_ms: f64, beta_ms_per_byte: f64) {
+        let mut ops = self.ops.lock();
+        ops.entry(op.to_string()).or_default().fit = Some((alpha_ms, beta_ms_per_byte));
+    }
+
+    /// Records a completed op's duration into the sliding window.
+    pub fn observe(&self, op: &str, elapsed: Duration) {
+        let window = self.config.window.max(1);
+        let mut ops = self.ops.lock();
+        let stats = ops.entry(op.to_string()).or_default();
+        stats.samples_us.push_back(elapsed.as_micros() as u64);
+        while stats.samples_us.len() > window {
+            stats.samples_us.pop_front();
+        }
+    }
+
+    /// The current p99 of observed samples for `op`, in µs.
+    pub fn p99_us(&self, op: &str) -> Option<u64> {
+        self.ops.lock().get(op).and_then(OpStats::p99_us)
+    }
+
+    /// The budget for one `op` instance moving `bytes` per rank:
+    /// `clamp(slack × max(model_ms, p99_ms), floor, ceiling)`, or the
+    /// ceiling when the op has neither a fit nor samples yet.
+    ///
+    /// Deterministic in the controller's state — ranks with identical
+    /// fits and identical observed samples derive identical budgets.
+    pub fn budget(&self, op: &str, bytes: usize) -> Duration {
+        let ops = self.ops.lock();
+        let Some(stats) = ops.get(op) else {
+            return self.config.ceiling;
+        };
+        let model_ms = stats
+            .fit
+            .map(|(alpha, beta)| alpha + beta * bytes as f64)
+            .unwrap_or(0.0);
+        let p99_ms = stats.p99_us().map(|us| us as f64 / 1e3).unwrap_or(0.0);
+        let expected_ms = model_ms.max(p99_ms);
+        if expected_ms <= 0.0 {
+            return self.config.ceiling;
+        }
+        let budget = Duration::from_secs_f64((expected_ms * self.config.slack.max(1.0)) / 1e3);
+        budget.clamp(self.config.floor, self.config.ceiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeadlineConfig {
+        DeadlineConfig {
+            floor: Duration::from_millis(10),
+            ceiling: Duration::from_secs(2),
+            slack: 4.0,
+            window: 8,
+        }
+    }
+
+    #[test]
+    fn unknown_op_gets_the_ceiling() {
+        let ctl = DeadlineController::new(cfg());
+        assert_eq!(ctl.budget("all_to_all", 1 << 20), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn model_budget_scales_with_bytes_and_slack() {
+        let ctl = DeadlineController::new(cfg());
+        // 1 ms fixed + 1 ms per KiB.
+        ctl.set_fit("all_to_all", 1.0, 1.0 / 1024.0);
+        // 9 KiB → 10 ms expected → 40 ms with 4× slack.
+        let b = ctl.budget("all_to_all", 9 * 1024);
+        assert_eq!(b, Duration::from_millis(40));
+        // Bigger payloads get bigger budgets.
+        assert!(ctl.budget("all_to_all", 1 << 20) > b);
+    }
+
+    #[test]
+    fn budget_clamps_to_floor_and_ceiling() {
+        let ctl = DeadlineController::new(cfg());
+        ctl.set_fit("barrier", 0.001, 0.0);
+        assert_eq!(
+            ctl.budget("barrier", 0),
+            Duration::from_millis(10),
+            "tiny expected cost clamps to the floor"
+        );
+        ctl.set_fit("all_gather", 10_000.0, 0.0);
+        assert_eq!(
+            ctl.budget("all_gather", 0),
+            Duration::from_secs(2),
+            "huge expected cost clamps to the ceiling"
+        );
+    }
+
+    #[test]
+    fn observed_p99_takes_over_when_it_exceeds_the_model() {
+        let ctl = DeadlineController::new(cfg());
+        ctl.set_fit("all_reduce", 1.0, 0.0);
+        for _ in 0..7 {
+            ctl.observe("all_reduce", Duration::from_millis(5));
+        }
+        // Model (1 ms) < p99 (5 ms): budget = 4 × 5 ms.
+        assert_eq!(ctl.budget("all_reduce", 0), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn latency_spike_widens_the_budget_then_ages_out() {
+        let ctl = DeadlineController::new(cfg());
+        for _ in 0..8 {
+            ctl.observe("all_to_all", Duration::from_millis(5));
+        }
+        let steady = ctl.budget("all_to_all", 0);
+        assert_eq!(steady, Duration::from_millis(20));
+        // One spike lands in the window: p99 ≈ max, so the budget
+        // widens instead of killing the slow op.
+        ctl.observe("all_to_all", Duration::from_millis(100));
+        assert_eq!(ctl.budget("all_to_all", 0), Duration::from_millis(400));
+        // The window slides: 8 more steady samples evict the spike and
+        // the budget re-tightens.
+        for _ in 0..8 {
+            ctl.observe("all_to_all", Duration::from_millis(5));
+        }
+        assert_eq!(ctl.budget("all_to_all", 0), steady);
+    }
+
+    #[test]
+    fn sustained_brownout_raises_p99_but_stays_under_slack() {
+        // A 2× sustained slowdown doubles the budget — the op keeps
+        // completing (detection is the health monitor's job, not the
+        // deadline's), yet the budget never runs away past slack × p99.
+        let ctl = DeadlineController::new(cfg());
+        for _ in 0..8 {
+            ctl.observe("all_to_all", Duration::from_millis(10));
+        }
+        for _ in 0..8 {
+            ctl.observe("all_to_all", Duration::from_millis(20));
+        }
+        assert_eq!(ctl.budget("all_to_all", 0), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn p99_tracks_the_window_tail() {
+        let ctl = DeadlineController::new(cfg());
+        assert_eq!(ctl.p99_us("x"), None);
+        for ms in [1u64, 2, 3, 4] {
+            ctl.observe("x", Duration::from_millis(ms));
+        }
+        assert_eq!(ctl.p99_us("x"), Some(4_000));
+    }
+
+    #[test]
+    fn ops_are_independent() {
+        let ctl = DeadlineController::new(cfg());
+        ctl.set_fit("all_to_all", 100.0, 0.0);
+        assert_eq!(ctl.budget("all_to_all", 0), Duration::from_millis(400));
+        assert_eq!(
+            ctl.budget("barrier", 0),
+            Duration::from_secs(2),
+            "other ops keep the ceiling until they have data"
+        );
+    }
+}

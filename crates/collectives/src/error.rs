@@ -1,5 +1,6 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Error type for communicator and topology construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +43,12 @@ pub enum CommError {
         /// Global ranks that had not joined (or drained) when the
         /// deadline expired.
         waiting_on: Vec<usize>,
+        /// The budget the op was given (static per-world deadline or
+        /// the adaptive controller's per-op budget).
+        deadline: Duration,
+        /// How long the caller actually waited before giving up —
+        /// always `>= deadline`, the overshoot being poll granularity.
+        elapsed: Duration,
     },
     /// A member of the group is known to be dead, so the collective can
     /// never complete. When the reporting rank *is* the dead rank, this
@@ -128,8 +135,18 @@ impl fmt::Display for CommError {
             CommError::BadParallelism { reason } => {
                 write!(f, "bad parallelism configuration: {reason}")
             }
-            CommError::Timeout { op, waiting_on } => {
-                write!(f, "{op}: deadline expired waiting on ranks {waiting_on:?}")
+            CommError::Timeout {
+                op,
+                waiting_on,
+                deadline,
+                elapsed,
+            } => {
+                write!(
+                    f,
+                    "{op}: deadline of {:.1}ms expired after {:.1}ms waiting on ranks {waiting_on:?}",
+                    deadline.as_secs_f64() * 1e3,
+                    elapsed.as_secs_f64() * 1e3
+                )
             }
             CommError::RankDown { rank } => {
                 write!(f, "rank {rank} is down; collective cannot complete")
@@ -185,9 +202,13 @@ mod tests {
         let timeout = CommError::Timeout {
             op: "all_to_all",
             waiting_on: vec![1, 3],
+            deadline: Duration::from_millis(500),
+            elapsed: Duration::from_millis(512),
         };
         assert!(timeout.to_string().contains("all_to_all"));
         assert!(timeout.to_string().contains("[1, 3]"));
+        assert!(timeout.to_string().contains("500.0ms"));
+        assert!(timeout.to_string().contains("512.0ms"));
         assert!(CommError::RankDown { rank: 2 }.to_string().contains("2"));
         assert!(CommError::Poisoned { rank: 5 }
             .to_string()
@@ -226,6 +247,8 @@ mod tests {
         let t = CommError::Timeout {
             op: "barrier",
             waiting_on: vec![0],
+            deadline: Duration::from_millis(10),
+            elapsed: Duration::from_millis(11),
         };
         assert_eq!(t.clone(), t);
         assert_ne!(

@@ -28,6 +28,7 @@ use crate::{CommError, Result};
 /// poisoning, membership fences) even without a notification. Bounds the
 /// detection latency for ranks blocked on *other* groups than the one a
 /// fault hit.
+// lint: allow(deadline-literals) — poll cadence for fault re-checks, not an op budget
 pub(crate) const FAULT_POLL: Duration = Duration::from_millis(25);
 
 /// Which collective the group is currently executing, used to detect SPMD
@@ -268,7 +269,10 @@ impl GroupComm {
     }
 
     /// Blocks on the condvar for one bounded step (never longer than the
-    /// remaining deadline or the fault-poll interval).
+    /// remaining deadline or the fault-poll interval). The time actually
+    /// spent blocked is accumulated into the world's per-rank
+    /// blocked-wait counter — the raw signal behind
+    /// [`crate::Communicator::blocked_wait_us`].
     fn wait_step(&self, st: &mut MutexGuard<'_, OpState>, deadline: Option<Instant>) {
         let dur = match deadline {
             Some(d) => d.saturating_duration_since(Instant::now()).min(FAULT_POLL),
@@ -277,7 +281,11 @@ impl GroupComm {
         if dur.is_zero() {
             return; // caller re-checks and reports the timeout
         }
+        let waited = Instant::now();
         let _ = self.inner.cond.wait_for(st, dur);
+        self.inner
+            .ctrl
+            .add_blocked_wait(self.global_rank, waited.elapsed().as_micros() as u64);
     }
 
     /// First group member that is dead world-wide and has not deposited
@@ -374,9 +382,36 @@ impl GroupComm {
             obs::counter_add(obs::names::COLLECTIVES_RETRIES, 1);
         }
         let bytes = input.len() * std::mem::size_of::<f32>();
+        // Adaptive budgets override the static deadline: the controller
+        // sizes this op's budget to its name and payload. Timing starts
+        // *after* the fault gates — an injected straggler delay is this
+        // rank arriving late, and must not feed back into the budget as
+        // wire time.
+        let adaptive = self.inner.ctrl.adaptive().cloned();
+        let budget = match &adaptive {
+            Some(ctl) => Some(ctl.budget(tag.name(), bytes)),
+            None => self.deadline,
+        };
+        let started = Instant::now();
+        // Key epoch captured *before* the rendezvous: a live eviction can
+        // bump the world epoch between this op's completion and the span
+        // commit below, and a commit-time read would stamp the late-waking
+        // rank's span with the new epoch — splitting one world-wide op
+        // across two keys.
+        let epoch = self.inner.ctrl.epoch();
         let span = obs::deferred_span(obs::names::CAT_COLLECTIVES, tag.name());
-        match self.run_inner(tag, input, compute) {
+        match self.run_inner(tag, input, compute, budget) {
             Ok(out) => {
+                if let Some(ctl) = &adaptive {
+                    // Success-only: error paths measure the failure
+                    // mode, not the op's cost, and would poison p99.
+                    let elapsed = started.elapsed();
+                    ctl.observe(tag.name(), elapsed);
+                    if obs::is_enabled() {
+                        let name = obs::names::deadline_budget_ms(tag.name());
+                        obs::set_gauge(&name, budget.unwrap_or_default().as_secs_f64() * 1e3);
+                    }
+                }
                 let mut span = span;
                 if obs::is_enabled() {
                     span.attr("rank", self.global_rank);
@@ -385,12 +420,7 @@ impl GroupComm {
                     span.attr("bytes", bytes);
                     span.attr(
                         "op_key",
-                        obs::names::op_key(
-                            self.inner.gid,
-                            self.inner.ctrl.epoch(),
-                            &self.inner.ranks,
-                            pos,
-                        ),
+                        obs::names::op_key(self.inner.gid, epoch, &self.inner.ranks, pos),
                     );
                 }
                 span.commit();
@@ -456,7 +486,13 @@ impl GroupComm {
     /// Panics when members concurrently issue different collectives on the
     /// same group (an SPMD violation); the group is poisoned first so
     /// peers error out rather than deadlock.
-    fn run_inner<F>(&self, tag: OpTag, input: Vec<f32>, compute: F) -> Result<Vec<f32>>
+    fn run_inner<F>(
+        &self,
+        tag: OpTag,
+        input: Vec<f32>,
+        compute: F,
+        budget: Option<Duration>,
+    ) -> Result<Vec<f32>>
     where
         F: FnOnce(&[Vec<f32>]) -> Vec<Vec<f32>>,
     {
@@ -476,7 +512,8 @@ impl GroupComm {
         }
 
         let op = tag.name();
-        let deadline = self.deadline.map(|d| Instant::now() + d);
+        let started = Instant::now();
+        let deadline = budget.map(|d| started + d);
         let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
         let n = self.size();
         let _poison_guard = PoisonOnPanic {
@@ -500,7 +537,12 @@ impl GroupComm {
             }
             if expired(deadline) {
                 let waiting_on = self.waiting_on(&st);
-                return Err(CommError::Timeout { op, waiting_on });
+                return Err(CommError::Timeout {
+                    op,
+                    waiting_on,
+                    deadline: budget.unwrap_or_default(),
+                    elapsed: started.elapsed(),
+                });
             }
             self.wait_step(&mut st, deadline);
         }
@@ -573,6 +615,16 @@ impl GroupComm {
             self.inner.cond.notify_all();
         } else {
             loop {
+                // A completed exchange always wins: once the op's compute
+                // has run and our output is waiting, a fence or death
+                // verdict observed afterwards belongs to a *later* op.
+                // Erroring here would orphan an op every peer already
+                // recorded as a world-wide success — a live eviction
+                // racing the victim's wake-up from its final collective
+                // would leave the op's key with a missing participant.
+                if matches!(st.phase, Phase::Distributing) && st.outputs[self.index].is_some() {
+                    break;
+                }
                 if let Some(rank) = st.poisoned {
                     self.withdraw(&mut st);
                     return Err(CommError::Poisoned { rank });
@@ -605,18 +657,29 @@ impl GroupComm {
                     let waiting_on = self.waiting_on(&st);
                     self.withdraw(&mut st);
                     self.inner.cond.notify_all();
-                    return Err(CommError::Timeout { op, waiting_on });
+                    return Err(CommError::Timeout {
+                        op,
+                        waiting_on,
+                        deadline: budget.unwrap_or_default(),
+                        elapsed: started.elapsed(),
+                    });
                 }
                 self.wait_step(&mut st, deadline);
             }
         }
 
-        let out = st.outputs[self.index]
-            .take()
-            // lint: allow(unwrap) — the distribution phase is only
-            // entered after compute filled every output slot, and each
-            // slot is taken exactly once (by its own rank).
-            .expect("output present in distribution phase");
+        let Some(out) = st.outputs[self.index].take() else {
+            // Distribution is underway but our slot is already gone:
+            // only `settle_drain` scrubs slots, and only for ranks the
+            // fleet marked dead — this rank was evicted while it slept
+            // and a peer drained its output. Too late to claim the
+            // result; exit with the verdict.
+            self.settle_drain(&mut st);
+            self.inner.cond.notify_all();
+            return Err(CommError::RankDown {
+                rank: self.global_rank,
+            });
+        };
         self.settle_drain(&mut st);
         // The op completed for this rank: advance its stream position.
         self.inner.streams[self.index].store(my_id + 1, Ordering::Relaxed);

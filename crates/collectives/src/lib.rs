@@ -34,8 +34,14 @@
 //!   with a straggler's late deposit: behind-the-stream ranks get
 //!   [`CommError::Abandoned`] instead of silently mixed payloads;
 //! * **fault injection** ([`FaultInjector`], [`CommWorld::with_faults`])
-//!   — deterministic, seedable schedules of rank kills, straggler delays
-//!   and payload drops, so every collective can be attacked in tests;
+//!   — deterministic, seedable schedules of rank kills, straggler delays,
+//!   payload drops and persistent brownouts ([`Brownout`]), so every
+//!   collective can be attacked in tests;
+//! * **adaptive deadlines** ([`DeadlineController`],
+//!   [`CommWorld::with_adaptive_deadlines`]) — per-op budgets derived
+//!   from profiler α–β fits and observed p99 instead of one static
+//!   world-wide deadline, so gray failures surface as health decay
+//!   rather than being masked by generous fixed timeouts;
 //! * **elastic membership** ([`Communicator::propose_evict`],
 //!   [`Communicator::reconfigured`]) — survivors of a permanently dead
 //!   rank agree to evict it, the membership epoch bumps, the old world
@@ -67,14 +73,16 @@
 //! }
 //! ```
 
+mod deadline;
 mod error;
 mod fault;
 mod group;
 mod topology;
 mod world;
 
+pub use deadline::{DeadlineConfig, DeadlineController};
 pub use error::CommError;
-pub use fault::{FaultAction, FaultInjector};
+pub use fault::{Brownout, FaultAction, FaultInjector};
 pub use group::GroupComm;
 pub use topology::{HybridTopology, ParallelDims};
 pub use world::{CommWorld, Communicator};

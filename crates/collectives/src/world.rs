@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::deadline::DeadlineController;
 use crate::fault::FaultInjector;
 use crate::group::{GroupInner, FAULT_POLL};
 use crate::{CommError, GroupComm, Result};
@@ -53,6 +54,14 @@ struct MigrationFenceState {
 pub(crate) struct WorldCtrl {
     dead: Vec<AtomicBool>,
     injector: Option<FaultInjector>,
+    /// Adaptive per-op deadline controller, when armed. Shared by all
+    /// ranks and carried into reconfigured worlds, so per-op budget
+    /// state survives membership changes.
+    adaptive: Option<Arc<DeadlineController>>,
+    /// Per-rank cumulative time (µs) spent blocked in collective
+    /// rendezvous waits — the live signal health scoring subtracts from
+    /// step wall time to get per-rank *self* time.
+    waited: Vec<AtomicU64>,
     /// Membership epoch: starts at the parent world's epoch (0 for a
     /// fresh [`CommWorld`]) and bumps once per agreed eviction.
     epoch: AtomicU64,
@@ -71,10 +80,17 @@ pub(crate) struct WorldCtrl {
 }
 
 impl WorldCtrl {
-    fn new(size: usize, injector: Option<FaultInjector>, epoch: u64) -> Self {
+    fn new(
+        size: usize,
+        injector: Option<FaultInjector>,
+        epoch: u64,
+        adaptive: Option<Arc<DeadlineController>>,
+    ) -> Self {
         WorldCtrl {
             dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
             injector,
+            adaptive,
+            waited: (0..size).map(|_| AtomicU64::new(0)).collect(),
             epoch: AtomicU64::new(epoch),
             fenced: AtomicBool::new(false),
             reconfig: Mutex::new(ReconfigVote {
@@ -107,6 +123,25 @@ impl WorldCtrl {
 
     pub(crate) fn injector(&self) -> Option<&FaultInjector> {
         self.injector.as_ref()
+    }
+
+    pub(crate) fn adaptive(&self) -> Option<&Arc<DeadlineController>> {
+        self.adaptive.as_ref()
+    }
+
+    /// Accumulates `us` microseconds of blocked rendezvous wait for
+    /// `rank`. Relaxed: the counter is monotone telemetry, not a
+    /// synchronization edge.
+    pub(crate) fn add_blocked_wait(&self, rank: usize, us: u64) {
+        if let Some(w) = self.waited.get(rank) {
+            w.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn blocked_wait_us(&self, rank: usize) -> u64 {
+        self.waited
+            .get(rank)
+            .map_or(0, |w| w.load(Ordering::Relaxed))
     }
 
     pub(crate) fn epoch(&self) -> u64 {
@@ -165,6 +200,7 @@ pub struct CommWorld {
     size: usize,
     deadline: Option<Duration>,
     injector: Option<FaultInjector>,
+    adaptive: Option<Arc<DeadlineController>>,
 }
 
 impl CommWorld {
@@ -179,6 +215,7 @@ impl CommWorld {
             size,
             deadline: None,
             injector: None,
+            adaptive: None,
         }
     }
 
@@ -198,6 +235,20 @@ impl CommWorld {
         self
     }
 
+    /// Arms the adaptive deadline controller: every collective derives
+    /// its budget from `controller` ([`DeadlineController::budget`],
+    /// keyed by op name and payload bytes) instead of the static
+    /// [`CommWorld::with_deadline`] value, and feeds its completion
+    /// time back as an observed sample. The static deadline (if any)
+    /// still applies to control-plane ops ([`Communicator::propose_evict`],
+    /// [`Communicator::migration_fence`]), whose costs are
+    /// vote-latency-bound, not payload-bound.
+    #[must_use]
+    pub fn with_adaptive_deadlines(mut self, controller: Arc<DeadlineController>) -> Self {
+        self.adaptive = Some(controller);
+        self
+    }
+
     /// Number of ranks in the world.
     pub fn size(&self) -> usize {
         self.size
@@ -206,7 +257,7 @@ impl CommWorld {
     /// Consumes the world, producing one [`Communicator`] per rank, in
     /// rank order.
     pub fn into_communicators(self) -> Vec<Communicator> {
-        let ctrl = Arc::new(WorldCtrl::new(self.size, self.injector, 0));
+        let ctrl = Arc::new(WorldCtrl::new(self.size, self.injector, 0, self.adaptive));
         let registry = Arc::new(GroupRegistry {
             groups: Mutex::new(HashMap::new()),
             ctrl,
@@ -254,6 +305,21 @@ impl Communicator {
     /// *after* this call.
     pub fn set_deadline(&mut self, deadline: Option<Duration>) {
         self.deadline = deadline;
+    }
+
+    /// The adaptive deadline controller armed on this world, if any.
+    pub fn deadline_controller(&self) -> Option<Arc<DeadlineController>> {
+        self.registry.ctrl.adaptive().cloned()
+    }
+
+    /// Cumulative time `rank` has spent blocked in collective
+    /// rendezvous waits on this world, µs. Monotone; callers diff
+    /// consecutive readings to get per-step blocked time. A rank's step
+    /// wall time minus its blocked-wait delta is its *self* time — the
+    /// quantity `models::health` scores, because a limping rank shows
+    /// large self time while its healthy peers show large waits.
+    pub fn blocked_wait_us(&self, rank: usize) -> u64 {
+        self.registry.ctrl.blocked_wait_us(rank)
     }
 
     /// Whether `rank` is known to be dead (killed by fault injection or
@@ -329,7 +395,8 @@ impl Communicator {
         ctrl.migration_cond.notify_all();
         self.registry.wake_all_groups();
 
-        let deadline = self.deadline.map(|d| Instant::now() + d);
+        let started = Instant::now();
+        let deadline = self.deadline.map(|d| started + d);
         let mut vote = ctrl.reconfig.lock();
         match vote.victim {
             None => vote.victim = Some(victim),
@@ -353,7 +420,15 @@ impl Communicator {
                 // one. Survivors are the live ranks in ascending order;
                 // a survivor's new rank is its index in that list.
                 let epoch = ctrl.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-                let new_ctrl = Arc::new(WorldCtrl::new(live.len(), None, epoch));
+                // The adaptive controller carries over: its per-op
+                // budget state is rank-agnostic, so the shrunken world
+                // starts with warm budgets instead of ceilings.
+                let new_ctrl = Arc::new(WorldCtrl::new(
+                    live.len(),
+                    None,
+                    epoch,
+                    ctrl.adaptive.clone(),
+                ));
                 let registry = Arc::new(GroupRegistry {
                     groups: Mutex::new(HashMap::new()),
                     ctrl: new_ctrl,
@@ -375,6 +450,8 @@ impl Communicator {
                 return Err(CommError::Timeout {
                     op: "propose_evict",
                     waiting_on,
+                    deadline: self.deadline.unwrap_or_default(),
+                    elapsed: started.elapsed(),
                 });
             }
             // Bounded wait: a voter may die without notifying this
@@ -450,7 +527,8 @@ impl Communicator {
             return Err(CommError::MigrationConflict { expert, from, to });
         }
 
-        let deadline = self.deadline.map(|d| Instant::now() + d);
+        let started = Instant::now();
+        let deadline = self.deadline.map(|d| started + d);
         let mut fence = ctrl.migration.lock();
         match fence.key {
             None => fence.key = Some((expert, from, to)),
@@ -507,6 +585,8 @@ impl Communicator {
                 Some(CommError::Timeout {
                     op: "migration_fence",
                     waiting_on,
+                    deadline: self.deadline.unwrap_or_default(),
+                    elapsed: started.elapsed(),
                 })
             } else {
                 None

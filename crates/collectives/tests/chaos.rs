@@ -2,14 +2,17 @@
 //!
 //! The liveness property under test: with a deadline armed, **every**
 //! rank's every collective call returns (`Ok` or a typed `Err`) — no
-//! schedule of kills, stragglers, or payload drops may hang any rank.
-//! Injected delays are capped at 200 ms and the per-op deadline at
-//! 500 ms, so no case ever sleeps anywhere near the 2 s ceiling the
-//! repo's test policy allows.
+//! schedule of kills, stragglers, payload drops or persistent brownouts
+//! may hang any rank. Injected delays are capped at 200 ms (brownout
+//! mean delays at a quarter of that) and the per-op deadline at 500 ms,
+//! so no case ever sleeps anywhere near the 2 s ceiling the repo's test
+//! policy allows. A browned-out rank limps *inside* the deadline — the
+//! run must finish cleanly, because slow-but-alive is exactly the
+//! failure the deadline machinery must not confuse with dead.
 
 use std::time::Duration;
 
-use collectives::{run_world_within, CommError, CommWorld, FaultInjector};
+use collectives::{run_world_within, Brownout, CommError, CommWorld, FaultInjector};
 use proptest::prelude::*;
 
 const OPS: usize = 4;
@@ -40,6 +43,11 @@ proptest! {
         let injector =
             FaultInjector::single_fault_from_seed(seed, world, OPS, MAX_DELAY_MS);
         let events = injector.events();
+        let browned = injector.brownouts();
+        prop_assert_eq!(
+            events.len() + browned.len(), 1,
+            "single-fault schedules carry exactly one fault"
+        );
         let comm_world = CommWorld::new(world)
             .with_deadline(DEADLINE)
             .with_faults(injector);
@@ -93,5 +101,56 @@ proptest! {
         let a = FaultInjector::single_fault_from_seed(seed, 8, OPS, MAX_DELAY_MS);
         let b = FaultInjector::single_fault_from_seed(seed, 8, OPS, MAX_DELAY_MS);
         prop_assert_eq!(a.events(), b.events());
+        prop_assert_eq!(a.brownouts(), b.brownouts());
+    }
+
+    /// A brownout alone must never break liveness or correctness: every
+    /// op completes `Ok` on every rank (the slow rank limps within the
+    /// deadline), results are numerically right, and the same spec+seed
+    /// reproduces — the gray-failure half of the chaos-soak gap fix.
+    #[test]
+    fn brownout_runs_finish_with_correct_results(
+        world in 2usize..=4,
+        victim_seed in any::<u64>(),
+        mean_ms in 1u64..=25,
+    ) {
+        let _doctor = parking_lot::lock_doctor::check_guard();
+        let victim = (victim_seed % world as u64) as usize;
+        let spec = Brownout {
+            mean_delay: Duration::from_millis(mean_ms),
+            jitter_pct: 30,
+            stutter_every: 3,
+            stutter_delay: Duration::from_millis(mean_ms),
+            from_op: 1,
+        };
+        let injector = FaultInjector::new().brownout(victim, spec, victim_seed);
+        let comm_world = CommWorld::new(world)
+            .with_deadline(DEADLINE)
+            .with_faults(injector);
+        let results = run_world_within(comm_world, BUDGET, move |comm| {
+            let g = comm.world_group();
+            let n = comm.world_size();
+            let mut sums = Vec::new();
+            for _ in 0..OPS {
+                let mut v = vec![1.0f32; n];
+                g.all_reduce(&mut v)?;
+                sums.push(v[0]);
+            }
+            Ok::<_, CommError>(sums)
+        });
+        for (rank, res) in results.iter().enumerate() {
+            match res {
+                Ok(sums) => {
+                    prop_assert_eq!(sums.len(), OPS);
+                    for &s in sums {
+                        prop_assert_eq!(s, world as f32, "rank {} sum", rank);
+                    }
+                }
+                Err(e) => prop_assert!(
+                    false,
+                    "rank {} must limp to completion, got {:?}", rank, e
+                ),
+            }
+        }
     }
 }

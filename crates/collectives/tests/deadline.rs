@@ -1,0 +1,122 @@
+//! Adaptive-deadline controller integration tests: budgets on a live
+//! world, SPMD determinism of budget derivation, and the interaction
+//! between latency spikes and sustained brownouts.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use collectives::{
+    run_world_within, Brownout, CommWorld, DeadlineConfig, DeadlineController, FaultInjector,
+};
+use proptest::prelude::*;
+
+const BUDGET: Duration = Duration::from_secs(10);
+
+fn config() -> DeadlineConfig {
+    DeadlineConfig {
+        floor: Duration::from_millis(50),
+        ceiling: Duration::from_secs(2),
+        slack: 4.0,
+        window: 16,
+    }
+}
+
+#[test]
+fn adaptive_world_completes_and_learns_op_costs() {
+    let _doctor = parking_lot::lock_doctor::check_guard();
+    let controller = DeadlineController::shared(config());
+    let world = CommWorld::new(3).with_adaptive_deadlines(Arc::clone(&controller));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let g = comm.world_group();
+        let mut sums = Vec::new();
+        for _ in 0..4 {
+            let mut v = vec![1.0f32; 3];
+            g.all_reduce(&mut v)?;
+            sums.push(v[0]);
+        }
+        Ok::<_, collectives::CommError>(sums)
+    });
+    for res in results {
+        assert_eq!(res.expect("fault-free adaptive run"), vec![3.0; 4]);
+    }
+    // Every completed op fed an observed sample back to the controller.
+    assert!(
+        controller.p99_us(obs::names::SPAN_ALL_REDUCE).is_some(),
+        "completions must be observed"
+    );
+    // With samples in hand, the budget has tightened off the ceiling
+    // (micro-second ops clamp to the floor).
+    let b = controller.budget(obs::names::SPAN_ALL_REDUCE, 12);
+    assert!(
+        b < config().ceiling,
+        "learned budget {b:?} should leave the ceiling"
+    );
+}
+
+#[test]
+fn browned_out_world_still_completes_under_adaptive_deadlines() {
+    // The controller's whole point: a limping rank widens p99 (and so
+    // the budget) instead of tripping timeouts — detection is the
+    // health monitor's job, not the deadline's.
+    let _doctor = parking_lot::lock_doctor::check_guard();
+    let controller = DeadlineController::shared(DeadlineConfig {
+        floor: Duration::from_millis(50),
+        ceiling: Duration::from_secs(2),
+        slack: 4.0,
+        window: 16,
+    });
+    let spec = Brownout::steady(Duration::from_millis(10));
+    let world = CommWorld::new(3)
+        .with_adaptive_deadlines(Arc::clone(&controller))
+        .with_faults(FaultInjector::new().brownout(2, spec, 7));
+    let results = run_world_within(world, BUDGET, |comm| {
+        let g = comm.world_group();
+        for _ in 0..6 {
+            let mut v = vec![1.0f32; 3];
+            g.all_reduce(&mut v)?;
+        }
+        Ok::<_, collectives::CommError>(())
+    });
+    for (rank, res) in results.iter().enumerate() {
+        assert!(res.is_ok(), "rank {rank} must limp through: {res:?}");
+    }
+    let p99 = controller
+        .p99_us(obs::names::SPAN_ALL_REDUCE)
+        .expect("ops were observed");
+    assert!(
+        p99 >= 8_000,
+        "p99 ({p99} µs) must reflect the ~10 ms brownout"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SPMD determinism: two controllers given identical fits and
+    /// identical observed samples derive bit-identical budgets for any
+    /// op/payload — the property that guarantees no rank times out
+    /// while a peer keeps waiting.
+    #[test]
+    fn budgets_are_spmd_identical_across_ranks(
+        alpha in 0.0f64..50.0,
+        beta in 0.0f64..0.01,
+        samples in prop::collection::vec(1u64..500_000, 0..24),
+        bytes in 0usize..(1 << 22),
+    ) {
+        let ranks: Vec<DeadlineController> =
+            (0..4).map(|_| DeadlineController::new(config())).collect();
+        for ctl in &ranks {
+            ctl.set_fit("all_to_all", alpha, beta);
+            for &us in &samples {
+                ctl.observe("all_to_all", Duration::from_micros(us));
+            }
+        }
+        let budgets: Vec<Duration> =
+            ranks.iter().map(|c| c.budget("all_to_all", bytes)).collect();
+        for b in &budgets[1..] {
+            prop_assert_eq!(*b, budgets[0], "ranks disagree on the budget");
+        }
+        prop_assert!(budgets[0] >= config().floor);
+        prop_assert!(budgets[0] <= config().ceiling);
+    }
+}

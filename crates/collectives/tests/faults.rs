@@ -33,9 +33,19 @@ fn kill_mid_all_to_all_errors_all_survivors_within_deadline() {
         let err = res.as_ref().expect_err("every rank must observe the fault");
         match err {
             CommError::RankDown { rank: dead } => assert_eq!(*dead, 2),
-            CommError::Timeout { op, waiting_on } => {
+            CommError::Timeout {
+                op,
+                waiting_on,
+                deadline,
+                elapsed,
+            } => {
                 assert_eq!(*op, obs::names::SPAN_ALL_TO_ALL);
                 assert!(waiting_on.contains(&2), "rank {rank}: {waiting_on:?}");
+                assert_eq!(*deadline, DEADLINE, "the configured budget is reported");
+                assert!(
+                    elapsed >= deadline,
+                    "rank {rank}: gave up after {elapsed:?} < deadline {deadline:?}"
+                );
             }
             other => panic!("rank {rank}: unexpected error {other:?}"),
         }
@@ -92,13 +102,20 @@ fn straggler_beyond_deadline_times_out_peers() {
     });
     // Rank 0 gives up on the straggler; the straggler, arriving to an
     // abandoned rendezvous, times out too. Nobody hangs.
-    assert_eq!(
-        results[0],
+    match &results[0] {
         Err(CommError::Timeout {
-            op: "barrier",
-            waiting_on: vec![1],
-        })
-    );
+            op,
+            waiting_on,
+            deadline,
+            elapsed,
+        }) => {
+            assert_eq!(*op, "barrier");
+            assert_eq!(*waiting_on, vec![1]);
+            assert_eq!(*deadline, Duration::from_millis(100));
+            assert!(elapsed >= deadline, "{elapsed:?} < {deadline:?}");
+        }
+        other => panic!("rank 0 must time out, got {other:?}"),
+    }
     assert!(results[1].is_err());
 }
 

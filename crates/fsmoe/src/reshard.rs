@@ -190,6 +190,20 @@ impl ExpertMap {
     /// divide evenly over the survivors (eviction keeps the placement
     /// uniform so recovery math stays simple).
     pub fn after_eviction(&self, evicted_pos: usize) -> Result<ExpertMap> {
+        self.after_eviction_inner(evicted_pos, true)
+    }
+
+    /// Like [`after_eviction`](Self::after_eviction), but tolerates an
+    /// orphan count that does not divide evenly: orphans still deal
+    /// round-robin, so the lowest survivors carry at most one extra
+    /// expert. The gray-failure path needs this — a quarantine drain
+    /// deliberately leaves the slow position short before the eviction
+    /// lands, so its orphan count rarely divides.
+    pub fn after_eviction_uneven(&self, evicted_pos: usize) -> Result<ExpertMap> {
+        self.after_eviction_inner(evicted_pos, false)
+    }
+
+    fn after_eviction_inner(&self, evicted_pos: usize, require_even: bool) -> Result<ExpertMap> {
         let n = self.n_ep();
         if evicted_pos >= n {
             return Err(MoeError::BadConfig {
@@ -206,7 +220,7 @@ impl ExpertMap {
         let survivors = n - 1;
         let mut orphans: Vec<usize> = self.experts_on[evicted_pos].clone();
         orphans.sort_unstable();
-        if !orphans.len().is_multiple_of(survivors) {
+        if require_even && !orphans.len().is_multiple_of(survivors) {
             return Err(MoeError::BadConfig {
                 field: "expert_map",
                 reason: format!(
@@ -297,6 +311,21 @@ impl ReshardPlan {
     pub fn round_robin(old: &ExpertMap, evicted_pos: usize) -> Result<ReshardPlan> {
         Ok(ReshardPlan {
             map: old.after_eviction(evicted_pos)?,
+        })
+    }
+
+    /// Round-robin plan that tolerates an uneven orphan deal
+    /// ([`ExpertMap::after_eviction_uneven`]) — identical to
+    /// [`round_robin`](Self::round_robin) whenever the count divides.
+    /// The elastic trainer uses this so an eviction still lands after a
+    /// quarantine drain has thinned the victim's expert list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExpertMap::after_eviction_uneven`] failures.
+    pub fn round_robin_uneven(old: &ExpertMap, evicted_pos: usize) -> Result<ReshardPlan> {
+        Ok(ReshardPlan {
+            map: old.after_eviction_uneven(evicted_pos)?,
         })
     }
 
@@ -450,6 +479,32 @@ mod tests {
         let map = ExpertMap::block(2, 1).unwrap();
         assert!(map.after_eviction(0).is_err());
         assert!(map.after_eviction(7).is_err());
+    }
+
+    #[test]
+    fn uneven_eviction_deals_round_robin_with_low_positions_first() {
+        // 4 positions × 2 experts: evicting position 2 orphans {4, 5};
+        // the strict deal refuses (2 over 3), the uneven one hands one
+        // orphan each to the two lowest survivors.
+        let map = ExpertMap::block(8, 4).unwrap();
+        assert!(map.after_eviction(2).is_err());
+        let after = map.after_eviction_uneven(2).unwrap();
+        assert_eq!(after.n_ep(), 3);
+        assert_eq!(after.experts_on(0), &[0, 1, 4]);
+        assert_eq!(after.experts_on(1), &[2, 3, 5]);
+        assert_eq!(after.experts_on(2), &[6, 7]);
+        // When the count divides, uneven and strict agree exactly.
+        let even = ExpertMap::block(6, 3).unwrap();
+        assert_eq!(
+            even.after_eviction(1).unwrap(),
+            even.after_eviction_uneven(1).unwrap()
+        );
+        // The degenerate guards still hold.
+        assert!(ExpertMap::block(2, 1)
+            .unwrap()
+            .after_eviction_uneven(0)
+            .is_err());
+        assert!(map.after_eviction_uneven(9).is_err());
     }
 
     #[test]

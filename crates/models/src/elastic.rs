@@ -35,7 +35,7 @@
 //! when the file is truncated, NaN-bearing, or disagrees with memory.
 
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use collectives::{CommError, Communicator, HybridTopology, ParallelDims};
 use fsmoe::checkpoint::LayerCheckpoint;
@@ -45,6 +45,7 @@ use fsmoe::reshard::ReshardPlan;
 use fsmoe::{MoeError, Result};
 use tensor::{Tensor, TensorRng};
 
+use crate::health::{drain_decision, GrayFailurePolicy, HealthAction, HealthMonitor};
 use crate::imbalance::{ImbalanceDetector, MigrationDecision};
 use crate::train::dist_train_step;
 
@@ -123,6 +124,19 @@ pub struct ElasticTrainer {
     rebalancer: Option<ImbalanceDetector>,
     migrations: usize,
     last_migration: Option<MigrationDecision>,
+    health: Option<HealthMonitor>,
+    gray: Option<GrayFailurePolicy>,
+    /// EP positions currently quarantined (ascending, fleet-identical).
+    quarantined: Vec<usize>,
+    quarantines: usize,
+}
+
+/// What the post-step health check decided (internal control flow).
+enum HealthOutcome {
+    /// Healthy, logged, or quarantined: the step stands.
+    Continue,
+    /// A live slow rank was evicted; the clock rolled back, replay.
+    Evicted,
 }
 
 impl ElasticTrainer {
@@ -162,6 +176,10 @@ impl ElasticTrainer {
             rebalancer: None,
             migrations: 0,
             last_migration: None,
+            health: None,
+            gray: None,
+            quarantined: Vec::new(),
+            quarantines: 0,
         })
     }
 
@@ -204,6 +222,10 @@ impl ElasticTrainer {
             rebalancer: None,
             migrations: 0,
             last_migration: None,
+            health: None,
+            gray: None,
+            quarantined: Vec::new(),
+            quarantines: 0,
         })
     }
 
@@ -231,6 +253,39 @@ impl ElasticTrainer {
     pub fn with_rebalancing(mut self, detector: ImbalanceDetector) -> Self {
         self.rebalancer = Some(detector);
         self
+    }
+
+    /// Arms the gray-failure defense: after every completed step the
+    /// per-rank self times (step wall time minus blocked-rendezvous
+    /// wait) are all-reduced and fed to `monitor`, and its verdicts
+    /// drive the escalation ladder — log, quarantine (hot experts drain
+    /// off the slow rank, which also stops being a rebalancing
+    /// destination), and finally a *live* eviction once `gray`'s
+    /// keep-limping-vs-evict pricing says eviction wins.
+    ///
+    /// SPMD: every rank must arm an identically configured monitor and
+    /// policy, or ranks walk different ladders and the vote never
+    /// converges.
+    #[must_use]
+    pub fn with_health(mut self, monitor: HealthMonitor, gray: GrayFailurePolicy) -> Self {
+        self.health = Some(monitor);
+        self.gray = Some(gray);
+        self
+    }
+
+    /// The health monitor, when armed (scores reflect the last step).
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
+    }
+
+    /// EP positions currently quarantined, ascending.
+    pub fn quarantined(&self) -> &[usize] {
+        &self.quarantined
+    }
+
+    /// Quarantine escalations taken so far.
+    pub fn quarantines(&self) -> usize {
+        self.quarantines
     }
 
     /// Eviction-free expert migrations completed so far.
@@ -404,7 +459,10 @@ impl ElasticTrainer {
         span.attr("epoch", epoch);
         span.attr("survivors", new_comm.world_size());
         // Flat topology: the evicted rank IS the evicted EP position.
-        let plan = ReshardPlan::round_robin(self.layer.expert_map(), victim)?;
+        // The uneven deal matters on the gray-failure path: a
+        // quarantine drain thins the victim's list before eviction, so
+        // its orphan count rarely divides over the survivors.
+        let plan = ReshardPlan::round_robin_uneven(self.layer.expert_map(), victim)?;
         let checkpoint = self.load_recovery_checkpoint();
         let topo = flat_topology(new_comm.world_size())?;
         self.layer.reshard(&plan, &checkpoint, &new_comm, &topo)?;
@@ -428,23 +486,28 @@ impl ElasticTrainer {
         if self.rebalancer.is_none() {
             return Ok(());
         }
-        let Some(routing) = self.layer.last_routing() else {
-            return Ok(());
-        };
-        let mut local: Vec<f32> = routing.expert_loads().iter().map(|&l| l as f32).collect();
         // Per-rank routings differ; the decision must not. Summing over
         // the world gives every rank the same detector input.
-        self.comm
-            .world_group()
-            .all_reduce(&mut local)
-            .map_err(MoeError::Comm)?;
-        let loads: Vec<f64> = local.iter().map(|&l| f64::from(l)).collect();
+        let Some(loads) = self.fleet_loads()? else {
+            return Ok(());
+        };
         let Some(detector) = self.rebalancer.as_mut() else {
             return Ok(());
         };
-        let Some(decision) = detector.observe(self.layer.expert_map(), &loads) else {
+        // Quarantined positions are off-limits as destinations: the
+        // rebalancer must not pile load back onto a slow rank.
+        let Some(decision) =
+            detector.observe_excluding(self.layer.expert_map(), &loads, &self.quarantined)
+        else {
             return Ok(());
         };
+        self.apply_migration(decision)
+    }
+
+    /// Executes a fenced migration, tolerating a lost fence race
+    /// ([`CommError::MigrationConflict`] — the eviction path owns
+    /// recovery and the decision re-fires later).
+    fn apply_migration(&mut self, decision: MigrationDecision) -> Result<()> {
         match self.layer.migrate(decision.expert, decision.to, &self.comm) {
             Ok(()) => {
                 self.migrations += 1;
@@ -454,6 +517,111 @@ impl ElasticTrainer {
             Err(MoeError::Comm(CommError::MigrationConflict { .. })) => Ok(()),
             Err(e) => Err(e),
         }
+    }
+
+    /// All-reduces fleet-wide expert loads (identical on every rank).
+    fn fleet_loads(&self) -> Result<Option<Vec<f64>>> {
+        let Some(routing) = self.layer.last_routing() else {
+            return Ok(None);
+        };
+        let mut local: Vec<f32> = routing.expert_loads().iter().map(|&l| l as f32).collect();
+        self.comm
+            .world_group()
+            .all_reduce(&mut local)
+            .map_err(MoeError::Comm)?;
+        Ok(Some(local.iter().map(|&l| f64::from(l)).collect()))
+    }
+
+    /// Drains one hot expert off the lowest quarantined position onto
+    /// the least-loaded healthy one ([`drain_decision`]).
+    fn drain_quarantined(&mut self) -> Result<()> {
+        let Some(loads) = self.fleet_loads()? else {
+            return Ok(());
+        };
+        let Some(decision) = drain_decision(self.layer.expert_map(), &loads, &self.quarantined)
+        else {
+            return Ok(());
+        };
+        self.apply_migration(decision)
+    }
+
+    /// The post-step health check: all-reduce per-rank self times so
+    /// every rank scores the identical vector, then walk the ladder on
+    /// the monitor's verdict. Runs only when health is armed, and every
+    /// branch is SPMD-deterministic.
+    ///
+    /// Returns `Err(RankDown{me})` when *this* rank is the priced-out
+    /// victim: peers evict it, and the canonical self-down error tells
+    /// the caller to stop stepping — exactly what a dead rank's caller
+    /// sees.
+    fn maybe_check_health(&mut self, self_us: f64) -> Result<HealthOutcome> {
+        if self.health.is_none() {
+            return Ok(HealthOutcome::Continue);
+        }
+        let me = self.comm.rank();
+        let mut v = vec![0.0f32; self.comm.world_size()];
+        v[me] = self_us as f32;
+        self.comm
+            .world_group()
+            .all_reduce(&mut v)
+            .map_err(MoeError::Comm)?;
+        let times: Vec<f64> = v.iter().map(|&t| f64::from(t)).collect();
+        let Some(monitor) = self.health.as_mut() else {
+            return Ok(HealthOutcome::Continue);
+        };
+        match monitor.observe(&times) {
+            None | Some(HealthAction::Log { .. }) => Ok(HealthOutcome::Continue),
+            Some(HealthAction::Quarantine { rank, .. }) => {
+                if !self.quarantined.contains(&rank) {
+                    self.quarantined.push(rank);
+                    self.quarantined.sort_unstable();
+                    self.quarantines += 1;
+                }
+                self.drain_quarantined()?;
+                Ok(HealthOutcome::Continue)
+            }
+            Some(HealthAction::EvictCandidate { rank, score }) => {
+                self.consider_eviction(rank, score)
+            }
+        }
+    }
+
+    /// The ladder's last rung: price keep-limping vs evict, and only
+    /// evict the live-but-slow rank when the arithmetic says so. Every
+    /// pricing input is fleet-identical (all-reduced scores and medians,
+    /// the shared config), so all ranks decide alike.
+    fn consider_eviction(&mut self, victim: usize, score: f64) -> Result<HealthOutcome> {
+        let defer = |health: &mut Option<HealthMonitor>| {
+            if let Some(m) = health.as_mut() {
+                m.defer();
+            }
+        };
+        let Some(gray) = self.gray else {
+            // No pricing policy: never auto-evict a live rank.
+            defer(&mut self.health);
+            return Ok(HealthOutcome::Continue);
+        };
+        let healthy_step_ms = self
+            .health
+            .as_ref()
+            .map_or(0.0, HealthMonitor::median_self_us)
+            / 1e3;
+        let replay_steps = self.step - self.snapshot.step;
+        let cost = gray.price(self.comm.world_size(), healthy_step_ms, score, replay_steps);
+        if !cost.eviction_wins() || self.evictions >= self.policy.max_evictions {
+            defer(&mut self.health);
+            return Ok(HealthOutcome::Continue);
+        }
+        obs::counter_add(obs::names::HEALTH_EVICTIONS, 1);
+        if victim == self.comm.rank() {
+            return Err(MoeError::Comm(CommError::RankDown { rank: victim }));
+        }
+        self.recover_from_eviction(victim)?;
+        if let Some(m) = self.health.as_mut() {
+            m.reset(self.comm.world_size());
+        }
+        self.quarantined.clear();
+        Ok(HealthOutcome::Evicted)
     }
 
     /// Runs one training step, driving the elastic pipeline when a peer
@@ -466,6 +634,13 @@ impl ElasticTrainer {
     /// eviction budget ([`ElasticPolicy::max_evictions`]) is spent.
     pub fn train_step(&mut self, input: &Tensor, target: &Tensor, lr: f32) -> Result<f32> {
         loop {
+            // Self time = step wall time minus time spent blocked in
+            // rendezvous waits: a browned-out rank's injected slowness
+            // is self time, while its healthy peers mostly accumulate
+            // *wait* — which the subtraction removes, so the slow rank
+            // stands out instead of dragging everyone's score up.
+            let wait_before = self.comm.blocked_wait_us(self.comm.rank());
+            let wall_start = Instant::now();
             let result = self
                 .maybe_snapshot()
                 .and_then(|()| {
@@ -476,7 +651,19 @@ impl ElasticTrainer {
                 Ok(loss) => {
                     self.step += 1;
                     self.strikes = 0;
-                    return Ok(loss);
+                    let wall_us = wall_start.elapsed().as_micros() as u64;
+                    let waited = self
+                        .comm
+                        .blocked_wait_us(self.comm.rank())
+                        .saturating_sub(wait_before);
+                    let self_us = wall_us.saturating_sub(waited) as f64;
+                    match self.maybe_check_health(self_us)? {
+                        HealthOutcome::Continue => return Ok(loss),
+                        // The live eviction rolled the clock back to
+                        // the snapshot: replay the discarded steps on
+                        // the shrunken world.
+                        HealthOutcome::Evicted => continue,
+                    }
                 }
                 Err(e) => e,
             };

@@ -76,6 +76,19 @@ impl ImbalanceDetector {
     /// migration decision once skew has been sustained for a full
     /// window and a strictly-better placement exists.
     pub fn observe(&mut self, map: &ExpertMap, expert_loads: &[f64]) -> Option<MigrationDecision> {
+        self.observe_excluding(map, expert_loads, &[])
+    }
+
+    /// Like [`observe`](Self::observe), but never targets a position in
+    /// `banned` as the migration destination — the hook health
+    /// quarantine uses to keep rebalancing from piling load back onto a
+    /// slow rank (the banned list must be identical on all ranks).
+    pub fn observe_excluding(
+        &mut self,
+        map: &ExpertMap,
+        expert_loads: &[f64],
+        banned: &[usize],
+    ) -> Option<MigrationDecision> {
         let (_, ratio) = Self::position_ratio(map, expert_loads);
         obs::set_gauge(obs::names::MOE_IMBALANCE_RATIO, ratio);
 
@@ -109,7 +122,7 @@ impl ImbalanceDetector {
             *a /= steps;
         }
 
-        let decision = Self::plan(map, &avg);
+        let decision = Self::plan(map, &avg, banned);
         if decision.is_some() {
             self.sustained = 0;
             self.quiet = self.cooldown;
@@ -119,8 +132,9 @@ impl ImbalanceDetector {
 
     /// Picks (expert, from, to): hot position's heaviest movable expert
     /// whose move strictly lowers the projected max position load.
+    /// Positions in `banned` are never chosen as the destination.
     /// Deterministic: every tie breaks to the lowest index.
-    fn plan(map: &ExpertMap, avg_loads: &[f64]) -> Option<MigrationDecision> {
+    fn plan(map: &ExpertMap, avg_loads: &[f64], banned: &[usize]) -> Option<MigrationDecision> {
         let per_position: Vec<f64> = (0..map.n_ep())
             .map(|p| map.experts_on(p).iter().map(|&e| avg_loads[e]).sum())
             .collect();
@@ -132,6 +146,7 @@ impl ImbalanceDetector {
         let cold = per_position
             .iter()
             .enumerate()
+            .filter(|(p, _)| !banned.contains(p))
             .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))?
             .0;
         if hot == cold {
@@ -284,6 +299,27 @@ mod tests {
                 to: 1
             }
         );
+    }
+
+    #[test]
+    fn excluded_positions_are_never_destinations() {
+        // Two positions, cold one quarantined: no healthy destination
+        // remains, so the planner refuses.
+        let map = block(4, 2);
+        let mut d = ImbalanceDetector::new(1, 1.2, 0);
+        assert_eq!(
+            d.observe_excluding(&map, &[40.0, 10.0, 5.0, 5.0], &[1]),
+            None
+        );
+        // Three positions: the coldest (1) is banned, so the move
+        // redirects to the next-coldest healthy position (2).
+        let map3 = ExpertMap::from_lists(vec![vec![0, 1], vec![2], vec![3]]).unwrap();
+        let mut d3 = ImbalanceDetector::new(1, 1.1, 0);
+        let got = d3
+            .observe_excluding(&map3, &[90.0, 20.0, 0.0, 5.0], &[1])
+            .unwrap();
+        assert_eq!(got.from, 0);
+        assert_eq!(got.to, 2, "banned cold position must be skipped");
     }
 
     #[test]

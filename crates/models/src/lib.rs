@@ -15,6 +15,7 @@ pub mod attention;
 pub mod block;
 pub mod breakdown;
 pub mod elastic;
+pub mod health;
 pub mod imbalance;
 pub mod iteration;
 pub mod layerspec;
@@ -24,6 +25,7 @@ pub mod recovery;
 pub mod train;
 
 pub use elastic::{flat_topology, ElasticPolicy, ElasticTrainer};
+pub use health::{drain_decision, GrayFailurePolicy, HealthAction, HealthMonitor, HealthPolicy};
 pub use imbalance::{ImbalanceDetector, MigrationDecision};
 pub use iteration::{build_iteration_graph, iteration_time, plan_iteration, IterationPlan};
 pub use layerspec::{attention_backward_time, attention_forward_time, TransformerLayerSpec};

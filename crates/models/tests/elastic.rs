@@ -225,6 +225,100 @@ fn eviction_bit_identity_holds_from_snapshot_failure() {
 ///
 /// World sizes 6 and 8 join in when `ELASTIC_SOAK_WIDE=1` (the ci.sh
 /// chaos-soak stage sets it).
+/// Gray-failure half of the chaos soak: persistent brownouts (slow,
+/// never dead) across seeds, world sizes, severities, and pricing
+/// horizons. The liveness property: every rank either finishes all its
+/// steps or exits with the clean self-eviction error — no hang (a hang
+/// trips the watchdog panic, which ci.sh's `timeout` wrapper
+/// distinguishes from assertion failures via exit 124), no untyped
+/// error. When an eviction does land, exactly the victim escalates and
+/// every survivor agrees on the final weights.
+#[test]
+fn gray_failure_chaos_soak() {
+    use collectives::{Brownout, CommError, FaultInjector};
+    use fsmoe::MoeError;
+    use models::{GrayFailurePolicy, HealthMonitor, HealthPolicy};
+
+    for n in [3usize, 4] {
+        for seed in 0u64..4 {
+            let cfg = config(n * (n - 1));
+            let victim = (seed as usize) % n;
+            let mean_ms = 2 + 2 * (seed % 3);
+            // Alternate pricing horizons: a long one prices eviction
+            // in; a 1-step horizon can never amortize the
+            // reconfiguration, so pricing defers forever and the whole
+            // fleet must limp to completion instead.
+            let horizon = if seed % 2 == 0 { 100_000 } else { 1 };
+            let spec = Brownout {
+                mean_delay: Duration::from_millis(mean_ms),
+                jitter_pct: 25,
+                stutter_every: 4,
+                stutter_delay: Duration::from_millis(mean_ms),
+                from_op: 2,
+            };
+            let comm_world =
+                world(n).with_faults(FaultInjector::new().brownout(victim, spec, seed));
+            let results = run_world_within(comm_world, BUDGET, {
+                let cfg = cfg.clone();
+                move |comm| {
+                    let rank = comm.rank();
+                    let policy = ElasticPolicy {
+                        snapshot_interval: 10_000,
+                        ..ElasticPolicy::default()
+                    };
+                    let mut trainer =
+                        ElasticTrainer::new(&cfg, comm, SEED, route_rng_for(rank), policy)
+                            .unwrap()
+                            .with_health(
+                                HealthMonitor::new(
+                                    n,
+                                    HealthPolicy {
+                                        window: 2,
+                                        threshold: 1.5,
+                                        sustain: 2,
+                                        cooldown: 1,
+                                    },
+                                ),
+                                GrayFailurePolicy {
+                                    costs: simnet::Testbed::a().costs,
+                                    horizon_steps: horizon,
+                                    moved_bytes: 1e6,
+                                    checkpoint_bytes: 4e6,
+                                },
+                            );
+                    let (x, t) = rank_data(&cfg, rank);
+                    while trainer.step() < 8 {
+                        match trainer.train_step(&x, &t, LR) {
+                            Ok(_) => {}
+                            Err(MoeError::Comm(CommError::RankDown { rank: r })) if r == rank => {
+                                return None; // clean escalation exit
+                            }
+                            Err(e) => panic!("n={n} seed={seed} rank {rank}: {e:?}"),
+                        }
+                    }
+                    Some((trainer.full_checkpoint().unwrap(), trainer.evictions()))
+                }
+            });
+            let finished: Vec<_> = results.iter().flatten().collect();
+            let escalated = results.iter().filter(|r| r.is_none()).count();
+            if escalated == 0 {
+                assert_eq!(finished.len(), n, "n={n} seed={seed}: all must finish");
+            } else {
+                assert_eq!(escalated, 1, "n={n} seed={seed}: only the victim escalates");
+                assert!(
+                    results[victim].is_none(),
+                    "n={n} seed={seed}: the browned-out rank is the one evicted"
+                );
+                let (first, _) = finished[0];
+                for (ckpt, evictions) in &finished {
+                    assert_eq!(*evictions, 1, "n={n} seed={seed}");
+                    assert_eq!(ckpt, first, "n={n} seed={seed}: survivors diverged");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn elastic_chaos_soak() {
     let mut sizes = vec![2usize, 3, 4];

@@ -128,6 +128,16 @@ pub const MOE_MIGRATIONS: &str = "moe.migrations";
 pub const MOE_IMBALANCE_RATIO: &str = "moe.imbalance_ratio";
 /// Counter: completed migration fences (one per world-wide quiesce).
 pub const COLLECTIVES_MIGRATION_FENCES: &str = "collectives.migration_fences";
+/// Counter: ranks quarantined by the health monitor (escalation ladder
+/// stage 2: the rank keeps its experts but loses migration-destination
+/// eligibility and its hot experts drain off it).
+pub const HEALTH_QUARANTINES: &str = "health.quarantines";
+/// Counter: live-but-slow ranks evicted after simnet's gray-failure
+/// pricing said eviction beats limping (escalation ladder stage 3).
+pub const HEALTH_EVICTIONS: &str = "health.evictions";
+/// Gauge: the health monitor's worst (highest) per-rank score on the
+/// last observation — 1.0 is median-healthy, 2.0 runs at half speed.
+pub const HEALTH_WORST_SCORE: &str = "health.worst_score";
 
 /// Gauge: mean per-step expert-compute time across ranks, µs (published
 /// by `obs::attrib`).
@@ -214,4 +224,17 @@ pub fn op_key(group: u64, epoch: u64, ranks: &[usize], op_id: u64) -> String {
 #[must_use]
 pub fn attrib_model_drift_pct(phase: &str) -> String {
     format!("attrib.model_drift_pct.{phase}")
+}
+
+/// Gauge: the health monitor's score for one rank (window-averaged
+/// self time over the cross-rank median; 1.0 = healthy).
+#[must_use]
+pub fn health_score(rank: usize) -> String {
+    format!("health.score.r{rank}")
+}
+
+/// Gauge: the adaptive deadline controller's last budget for `op`, ms.
+#[must_use]
+pub fn deadline_budget_ms(op: &str) -> String {
+    format!("deadline.budget_ms.{op}")
 }

@@ -1,0 +1,179 @@
+//! Pricing the gray-failure crossover: keep limping vs evict + reshard.
+//!
+//! A browned-out rank does not stop training — it *taxes* it: every
+//! step runs at the slow rank's pace, so over a horizon of `H` steps
+//! the fleet pays `H · healthy_step · slowdown` instead of
+//! `H · healthy_step`. Evicting the slow rank removes the tax but pays
+//! the reconfiguration stall up front ([`price_reconfiguration`], minus
+//! its *detect* phase — health scoring already named the rank, nobody
+//! sat out a deadline), replays the steps rolled back to the snapshot,
+//! and then runs the horizon on one fewer rank, each step proportionally
+//! heavier. The crossover between those two totals is the escalation
+//! ladder's last rung: `ElasticTrainer` only proposes evicting a
+//! live-but-slow rank once [`GrayFailureCost::eviction_wins`] says the
+//! arithmetic favours it.
+
+use crate::reconfig::{price_reconfiguration, ReconfigCost};
+use crate::OpCosts;
+
+/// The two sides of the keep-limping-vs-evict comparison, in ms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayFailureCost {
+    /// Cost of doing nothing: the horizon run at the slow rank's pace.
+    pub limp: f64,
+    /// The up-front reconfiguration stall (agree + reshard + restore;
+    /// detect is zero — health scoring already did the detecting).
+    pub reconfigure: ReconfigCost,
+    /// Re-running the steps the rollback discarded, on the shrunken
+    /// world.
+    pub replay: f64,
+    /// The horizon run on the shrunken world at full health (each step
+    /// heavier by `world / (world - 1)`).
+    pub resumed: f64,
+}
+
+impl GrayFailureCost {
+    /// Total cost of the eviction branch.
+    pub fn evict_total(&self) -> f64 {
+        self.reconfigure.total() + self.replay + self.resumed
+    }
+
+    /// Whether evicting the slow rank beats limping over the horizon.
+    pub fn eviction_wins(&self) -> bool {
+        self.evict_total() < self.limp
+    }
+}
+
+/// Prices the keep-limping-vs-evict crossover for one gray-failed rank.
+///
+/// * `world` — current rank count, slow rank included.
+/// * `healthy_step_ms` — a step's cost when nobody limps.
+/// * `slowdown` — the slow rank's health score (1.0 = healthy, 2.0 =
+///   half speed); the whole fleet steps at this pace. Clamped to ≥ 1.
+/// * `horizon_steps` — how far ahead the comparison looks. Short
+///   horizons favour limping (the reconfiguration never amortizes);
+///   long horizons favour eviction.
+/// * `replay_steps` — steps the eviction's rollback discards and the
+///   shrunken world must re-run.
+/// * `moved_bytes` / `checkpoint_bytes` — as in
+///   [`price_reconfiguration`]: orphaned weights and snapshot size.
+///
+/// Every input is identical on every rank of an SPMD program (scores
+/// are all-reduced, sizes derive from the config), so every rank prices
+/// the same crossover and the eviction decision is itself SPMD.
+#[allow(clippy::too_many_arguments)] // mirrors price_reconfiguration's flat signature
+pub fn price_gray_failure(
+    costs: &OpCosts,
+    world: usize,
+    healthy_step_ms: f64,
+    slowdown: f64,
+    horizon_steps: usize,
+    replay_steps: usize,
+    moved_bytes: f64,
+    checkpoint_bytes: f64,
+) -> GrayFailureCost {
+    let world = world.max(2) as f64;
+    let healthy = healthy_step_ms.max(0.0);
+    let horizon = horizon_steps as f64;
+    // One fewer rank shoulders the same model: each step slows by the
+    // lost rank's share.
+    let shrunken_step = healthy * world / (world - 1.0);
+    GrayFailureCost {
+        limp: horizon * healthy * slowdown.max(1.0),
+        reconfigure: price_reconfiguration(
+            costs,
+            world as usize - 1,
+            0.0,
+            moved_bytes,
+            checkpoint_bytes,
+        ),
+        replay: replay_steps as f64 * shrunken_step,
+        resumed: horizon * shrunken_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Testbed;
+
+    const MOVED: f64 = 1e6;
+    const CKPT: f64 = 4e6;
+
+    #[test]
+    fn severe_slowdown_over_a_long_horizon_flips_to_eviction() {
+        let costs = Testbed::a().costs;
+        let c = price_gray_failure(&costs, 4, 10.0, 2.0, 1000, 2, MOVED, CKPT);
+        // Limp: 1000 × 10 × 2.0 = 20 s; evict: reconfig + ~1002 × 13.3 ms.
+        assert!(c.eviction_wins(), "2× slowdown for 1000 steps: {c:?}");
+    }
+
+    #[test]
+    fn mild_slowdown_over_a_short_horizon_keeps_limping() {
+        let costs = Testbed::a().costs;
+        let c = price_gray_failure(&costs, 4, 10.0, 1.1, 5, 2, MOVED, CKPT);
+        // Limp: 5 × 11 = 55 ms; evict pays the reconfiguration alone
+        // plus 7 steps at 4/3 weight — never amortized in 5 steps.
+        assert!(!c.eviction_wins(), "1.1× for 5 steps: {c:?}");
+    }
+
+    #[test]
+    fn breakeven_moves_with_the_horizon() {
+        // The same slowdown that is not worth evicting over a short
+        // horizon becomes worth it over a long one.
+        let costs = Testbed::b().costs;
+        let short = price_gray_failure(&costs, 4, 10.0, 1.6, 10, 2, MOVED, CKPT);
+        let long = price_gray_failure(&costs, 4, 10.0, 1.6, 10_000, 2, MOVED, CKPT);
+        assert!(!short.eviction_wins(), "{short:?}");
+        assert!(long.eviction_wins(), "{long:?}");
+    }
+
+    #[test]
+    fn reconfiguration_phases_match_the_protocol_minus_detection() {
+        let costs = Testbed::a().costs;
+        let c = price_gray_failure(&costs, 4, 10.0, 1.5, 100, 2, MOVED, CKPT);
+        let expected = price_reconfiguration(&costs, 3, 0.0, MOVED, CKPT);
+        assert_eq!(c.reconfigure, expected);
+        assert_eq!(
+            c.reconfigure.detect, 0.0,
+            "health scoring already detected; no deadline sit-out"
+        );
+    }
+
+    #[test]
+    fn eviction_branch_charges_the_shrunken_world_step_tax() {
+        let costs = Testbed::a().costs;
+        let c = price_gray_failure(&costs, 4, 12.0, 2.0, 100, 3, MOVED, CKPT);
+        let shrunken = 12.0 * 4.0 / 3.0;
+        assert!((c.resumed - 100.0 * shrunken).abs() < 1e-9);
+        assert!((c.replay - 3.0 * shrunken).abs() < 1e-9);
+        assert!((c.limp - 100.0 * 24.0).abs() < 1e-9);
+        assert!((c.evict_total() - (c.reconfigure.total() + c.replay + c.resumed)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp_instead_of_poisoning() {
+        let costs = Testbed::a().costs;
+        // Sub-1.0 slowdown clamps to healthy pace; a 2-rank world is the
+        // smallest that can lose a member.
+        let c = price_gray_failure(&costs, 0, -5.0, 0.5, 10, 0, -1.0, -1.0);
+        assert!(c.limp >= 0.0);
+        assert!(c.evict_total().is_finite());
+        assert!(
+            !c.eviction_wins(),
+            "nothing to gain from evicting a healthy fleet: {c:?}"
+        );
+    }
+
+    #[test]
+    fn monotone_in_slowdown_and_horizon() {
+        let costs = Testbed::b().costs;
+        let base = price_gray_failure(&costs, 4, 10.0, 1.5, 100, 2, MOVED, CKPT);
+        let slower = price_gray_failure(&costs, 4, 10.0, 2.5, 100, 2, MOVED, CKPT);
+        assert!(slower.limp > base.limp);
+        assert_eq!(slower.evict_total(), base.evict_total());
+        let longer = price_gray_failure(&costs, 4, 10.0, 1.5, 200, 2, MOVED, CKPT);
+        assert!(longer.limp > base.limp);
+        assert!(longer.evict_total() > base.evict_total());
+    }
+}

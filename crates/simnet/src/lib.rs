@@ -42,6 +42,7 @@ mod cost;
 mod engine;
 mod error;
 mod gantt;
+mod gray;
 mod migrate;
 mod reconfig;
 mod stepmodel;
@@ -53,6 +54,7 @@ pub use cost::{CostModel, OpCosts};
 pub use engine::{Engine, Span, Straggler, Timeline};
 pub use error::SimError;
 pub use gantt::render_gantt;
+pub use gray::{price_gray_failure, GrayFailureCost};
 pub use migrate::{add_migration_tasks, price_migration, MigrationCost};
 pub use reconfig::{add_reconfiguration_tasks, price_reconfiguration, ReconfigCost};
 pub use stepmodel::{StepModel, StepPrediction};
