@@ -63,8 +63,27 @@ echo "==> conformance: workspace invariant linter"
 # Static gates: no std::sync locks outside shims/, no unjustified
 # unwrap/expect in the guarded crates, obs names only via the registry,
 # no wildcard arms over CommError where Reconfigured/Abandoned must be
-# distinguished. Non-zero exit on any violation.
-cargo run --release -p analyzer
+# distinguished — plus the SPMD determinism auditor (unordered
+# iteration, rank-divergent collectives, wall-clock decisions, float
+# accumulation order). Non-zero exit on any violation; on failure the
+# findings are re-emitted as JSON for one-glance triage.
+if ! cargo run --release -p analyzer; then
+    echo "analyzer findings (JSON):" >&2
+    cargo run --release -p analyzer -- --json >&2 || true
+    exit 1
+fi
+
+echo "==> conformance: collective schedule symmetry golden"
+# The static schedule extractor's per-function collective op-graph must
+# match the checked-in golden exactly: a new/moved/reordered collective
+# call site is a deliberate protocol change and must be re-blessed with
+# `cargo run --release -p analyzer -- --write-golden`.
+cargo run --release -p analyzer -- --schedule-report > target/schedule_report.json
+if ! diff -u results/schedule_report.json target/schedule_report.json; then
+    echo "schedule report drifted from results/schedule_report.json;" >&2
+    echo "re-bless with: cargo run --release -p analyzer -- --write-golden" >&2
+    exit 1
+fi
 
 echo "==> conformance: chaos suite under the lock doctor"
 # Re-run the fault-injection suites with lock-order tracking armed.

@@ -3,10 +3,11 @@
 //! `shims/parking_lot`).
 //!
 //! A source-level lint over the repository's own conventions, built on
-//! a lightweight tokenizer ([`lexer`]) — no `syn`, no dependencies.
-//! `cargo run --release -p analyzer` walks the workspace and exits
-//! non-zero on any violation; ci.sh gates on it. The rule catalog lives
-//! in [`rules`] and DESIGN.md §8:
+//! a lightweight tokenizer ([`lexer`]), a delimiter-balanced token
+//! tree ([`ast`]) and per-function dataflow ([`flow`]) — no `syn`, no
+//! external dependencies. `cargo run --release -p analyzer` walks the
+//! workspace and exits non-zero on any violation; ci.sh gates on it.
+//! The lexical rules live in [`rules`] (DESIGN.md §8):
 //!
 //! * `no-std-sync` — `std::sync::{Mutex,RwLock,Condvar}` outside
 //!   `shims/` (a std lock is invisible to the lock doctor);
@@ -23,6 +24,23 @@
 //!   carry a line-scoped allow naming what they are);
 //! * `allow-needs-reason` — an allow directive without justification.
 //!
+//! The SPMD determinism rules live in [`flow`] (DESIGN.md §13):
+//!
+//! * `spmd-unordered-iteration` — `HashMap`/`HashSet` iteration in
+//!   verdict logic without an order-insensitive consumer;
+//! * `spmd-rank-divergent-collective` — a collective op dominated by a
+//!   rank-conditional branch;
+//! * `spmd-wallclock-decision` — `Instant`/`SystemTime` readings
+//!   flowing into branch conditions or collective payloads in verdict
+//!   modules;
+//! * `float-accum-order` — `sum`/`fold` reductions over unordered
+//!   containers.
+//!
+//! [`schedule`] additionally extracts the per-function static
+//! collective op-graph (`--schedule-report`) and cross-checks that
+//! every function issues the same op sequence on all non-exiting
+//! control paths, naming any divergence.
+//!
 //! # Allow policy
 //!
 //! `// lint: allow(<rule>) — <reason>` on the line of (or the comment
@@ -34,14 +52,18 @@ use std::collections::HashSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod ast;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
+pub mod schedule;
 
 use lexer::tokenize;
 use rules::{
     check_comm_wildcard, check_dead_names, check_deadline_literals, check_obs_names,
     check_std_sync, check_unwrap, ident_set, registry_consts, rules_for, test_regions,
-    RULE_ALLOW_REASON, RULE_OBS_DEAD_NAME,
+    RULE_ALLOW_REASON, RULE_FLOAT_ACCUM, RULE_OBS_DEAD_NAME, RULE_RANK_COLLECTIVE,
+    RULE_UNORDERED_ITER, RULE_WALLCLOCK,
 };
 
 /// One lint finding.
@@ -143,9 +165,38 @@ struct AllowDirective {
 
 impl AllowDirective {
     fn suppresses(&self, v: &Violation) -> bool {
-        let matches_rule = v.rule == self.key || v.rule == format!("no-{}", self.key);
+        let matches_rule = v.rule == self.key
+            || v.rule == format!("no-{}", self.key)
+            || shorthand_rule(&self.key) == Some(v.rule);
         matches_rule && (self.line..=self.target_line).contains(&v.line)
     }
+}
+
+/// Documented short allow keys for the longer SPMD rule ids (the rule
+/// messages themselves suggest these spellings).
+fn shorthand_rule(key: &str) -> Option<&'static str> {
+    match key {
+        "unordered-iter" => Some(RULE_UNORDERED_ITER),
+        "rank-divergent-collective" => Some(RULE_RANK_COLLECTIVE),
+        "wallclock-decision" => Some(RULE_WALLCLOCK),
+        "float-accum" => Some(RULE_FLOAT_ACCUM),
+        _ => None,
+    }
+}
+
+/// Whether a file holds SPMD verdict logic — the scope of the
+/// unordered-iteration and float-accumulation rules (DESIGN.md §13):
+/// code whose outputs every rank must reproduce bit-identically.
+#[must_use]
+pub fn spmd_decision(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/models/src/health.rs"
+            | "crates/models/src/imbalance.rs"
+            | "crates/models/src/elastic.rs"
+            | "crates/fsmoe/src/reshard.rs"
+            | "crates/collectives/src/deadline.rs"
+    )
 }
 
 /// Scans raw source lines for allow directives (the tokenizer drops
@@ -199,8 +250,18 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
     let class = classify(rel);
     let active = rules_for(class);
     let directives = allow_directives(src);
+    // The dataflow rules (DESIGN.md §13) scope by file role: iteration
+    // and accumulation order in verdict logic, rank-conditional
+    // collectives anywhere comm is issued, wall-clock flow in verdict
+    // modules (the deadline controller is the sanctioned clock user).
+    let spmd = spmd_decision(rel);
+    let rank_scope = matches!(
+        class,
+        FileClass::GuardedCommSource | FileClass::CommMatchSource
+    );
+    let wallclock_scope = spmd && class != FileClass::DeadlineController;
     let mut raw = Vec::new();
-    if !active.is_empty() {
+    if !active.is_empty() || spmd || rank_scope {
         let toks = tokenize(src);
         let tests = test_regions(&toks);
         for &rule in active {
@@ -211,6 +272,18 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Violation> {
                 rules::RULE_COMM_WILDCARD => check_comm_wildcard(&toks, &tests, &mut raw),
                 rules::RULE_DEADLINE_LITERALS => check_deadline_literals(&toks, &tests, &mut raw),
                 _ => {}
+            }
+        }
+        if spmd || rank_scope {
+            let tree = ast::build(&toks);
+            if spmd {
+                flow::check_unordered_iteration(&tree, &tests, &mut raw);
+            }
+            if wallclock_scope {
+                flow::check_wallclock(&tree, &tests, &mut raw);
+            }
+            if rank_scope {
+                flow::check_rank_divergent(&tree, &tests, &mut raw);
             }
         }
     }

@@ -1,31 +1,106 @@
 //! The ci.sh lint gate: lints the workspace, prints one line per
 //! violation (`RULE file:line message`), exits 1 on any finding.
 //!
-//! Usage: `cargo run --release -p analyzer [workspace-root]`
-//! (default root: the directory two levels above this crate).
+//! Usage:
+//!   `cargo run --release -p analyzer [flags] [workspace-root]`
+//!
+//! Flags:
+//!   `--json`              emit findings as a JSON array (rule id,
+//!                         file, line, message) for one-glance triage;
+//!   `--schedule-report`   emit the static collective op-graph instead
+//!                         of linting (DESIGN.md §13);
+//!   `--write-golden`      with `--schedule-report`: rewrite the
+//!                         checked-in `results/schedule_report.json`.
+//!
+//! Default root: the directory two levels above this crate. Publishes
+//! `analyzer.findings` / `analyzer.files_scanned` through obs when a
+//! collector is enabled.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use jsonio::Json;
+
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map_or_else(
-        || {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .canonicalize()
-                .unwrap_or_else(|_| PathBuf::from("."))
-        },
-        PathBuf::from,
-    );
+    let mut json = false;
+    let mut schedule = false;
+    let mut write_golden = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--schedule-report" => schedule = true,
+            "--write-golden" => write_golden = true,
+            other => root_arg = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root_arg.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    if schedule || write_golden {
+        let report = analyzer::schedule::schedule_report(&root);
+        let text = match report.to_pretty_string() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("analyzer: schedule report serialisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if write_golden {
+            let golden = root.join("results/schedule_report.json");
+            if let Some(dir) = golden.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(&golden, &text) {
+                eprintln!("analyzer: write {}: {e}", golden.display());
+                return ExitCode::FAILURE;
+            }
+            println!("analyzer: wrote {}", golden.display());
+        } else {
+            print!("{text}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let files_scanned = analyzer::workspace_files(&root).len();
     let violations = analyzer::run_workspace(&root);
-    for v in &violations {
-        println!("{v}");
+    obs::counter_add(obs::names::ANALYZER_FINDINGS, violations.len() as u64);
+    obs::set_gauge(obs::names::ANALYZER_FILES_SCANNED, files_scanned as f64);
+
+    if json {
+        let arr = Json::Arr(
+            violations
+                .iter()
+                .map(|v| {
+                    Json::obj([
+                        ("rule", Json::from(v.rule)),
+                        ("file", Json::from(v.file.as_str())),
+                        ("line", Json::from(f64::from(v.line))),
+                        ("message", Json::from(v.message.as_str())),
+                    ])
+                })
+                .collect(),
+        );
+        match arr.to_pretty_string() {
+            Ok(t) => print!("{t}"),
+            Err(e) => {
+                eprintln!("analyzer: findings serialisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
     }
     if violations.is_empty() {
-        println!(
-            "analyzer: {} files clean",
-            analyzer::workspace_files(&root).len()
-        );
+        if !json {
+            println!("analyzer: {files_scanned} files clean");
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("analyzer: {} violation(s)", violations.len());

@@ -23,6 +23,18 @@ pub const RULE_ALLOW_REASON: &str = "allow-needs-reason";
 /// Rule id: hardcoded `Duration::from_*` in `collectives/src` outside
 /// the deadline controller.
 pub const RULE_DEADLINE_LITERALS: &str = "deadline-literals";
+/// Rule id: iteration over a std `HashMap`/`HashSet` in SPMD-decision
+/// code without an order-insensitive consumer ([`crate::flow`]).
+pub const RULE_UNORDERED_ITER: &str = "spmd-unordered-iteration";
+/// Rule id: collective op lexically dominated by a rank-conditional
+/// branch ([`crate::flow`]).
+pub const RULE_RANK_COLLECTIVE: &str = "spmd-rank-divergent-collective";
+/// Rule id: `Instant`/`SystemTime`-derived value flowing into a branch
+/// condition or collective payload in a verdict module ([`crate::flow`]).
+pub const RULE_WALLCLOCK: &str = "spmd-wallclock-decision";
+/// Rule id: `sum`/`fold`/`product` reduction over an unordered
+/// container ([`crate::flow`]).
+pub const RULE_FLOAT_ACCUM: &str = "float-accum-order";
 
 /// The std primitives that must come from `shims/parking_lot` instead
 /// (the lock doctor instruments the shim — a std lock is invisible to

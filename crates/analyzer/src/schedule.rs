@@ -1,0 +1,575 @@
+//! Static collective-schedule extraction and symmetry checking.
+//!
+//! Walks the token tree of every comm-issuing crate (`collectives`,
+//! `fsmoe`, `models`) and builds a per-function op-graph of collective
+//! calls (`all_reduce`, `broadcast`, `migration_fence`, …) with their
+//! control-flow structure: straight-line ops, branches with arms,
+//! loops. From the graph it derives:
+//!
+//! * a machine-readable report (`analyzer --schedule-report`, emitted
+//!   via `jsonio` and diffed against `results/schedule_report.json` in
+//!   ci.sh) so collective-schedule drift shows up in review;
+//! * a symmetry cross-check: a function that issues collectives must
+//!   issue the *same op sequence on every control path*, or the
+//!   divergence is named in the report. Branch arms that exit
+//!   (`return`/`break`/`continue`/`panic!`) are excluded — an error
+//!   path that abandons the schedule is not a divergence. A branch
+//!   with no `else` is a guard: its predicate must be fleet-uniform,
+//!   and the rank-conditional case is separately an error under
+//!   `spmd-rank-divergent-collective` ([`crate::flow`]).
+
+use std::path::Path;
+
+use jsonio::Json;
+
+use crate::ast::{build, functions, parse_fn_at, Node};
+use crate::lexer::tokenize;
+use crate::rules::test_regions;
+
+/// The collective operations whose call sites form the schedule.
+/// Sorted; covers both the transport verbs (`GroupComm`) and the
+/// control-plane collectives (`Communicator`).
+pub const COLLECTIVE_OPS: [&str; 8] = [
+    "all_gather",
+    "all_reduce",
+    "all_to_all",
+    "barrier",
+    "broadcast",
+    "migration_fence",
+    "propose_evict",
+    "reduce_scatter",
+];
+
+/// One node of a function's collective op-graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpNode {
+    /// A collective call site.
+    Op {
+        /// The operation name.
+        op: String,
+        /// 1-based source line of the call.
+        line: u32,
+    },
+    /// An `if`/`else` chain or `match`: one sub-sequence per arm.
+    Branch {
+        /// Line of the `if`/`match` keyword.
+        line: u32,
+        /// The explicit arms in source order.
+        arms: Vec<Seq>,
+        /// Whether the chain ends in an unconditional `else` (or is a
+        /// `match`, which is exhaustive). Without one the branch is a
+        /// guard, not a set of alternatives.
+        has_else: bool,
+    },
+    /// A `for`/`while`/`loop` body.
+    Loop {
+        /// Line of the loop keyword.
+        line: u32,
+        /// Ops issued per iteration.
+        body: Seq,
+    },
+}
+
+/// A sequence of op-graph nodes plus whether the path exits the
+/// function early at this level.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Seq {
+    /// The nodes in source order.
+    pub nodes: Vec<OpNode>,
+    /// Whether a top-level `return`/`break`/`continue`/`panic!`-family
+    /// token makes this path abandon the rest of the schedule.
+    pub exits: bool,
+}
+
+/// One function's extracted schedule.
+#[derive(Debug)]
+pub struct FnSchedule {
+    /// Function name.
+    pub name: String,
+    /// Line of its `fn` keyword.
+    pub line: u32,
+    /// The op-graph of its body.
+    pub graph: Seq,
+}
+
+/// A named asymmetry: two non-exiting arms of one branch issue
+/// different op sequences.
+#[derive(Debug)]
+pub struct Divergence {
+    /// Repo-relative file.
+    pub file: String,
+    /// Function name.
+    pub function: String,
+    /// Line of the branch keyword.
+    pub line: u32,
+    /// Flattened op names per non-exiting arm.
+    pub arms: Vec<Vec<String>>,
+}
+
+fn is_exit_ident(nodes: &[Node], i: usize) -> bool {
+    let Some(id) = nodes[i].ident() else {
+        return false;
+    };
+    match id {
+        "return" | "break" | "continue" => true,
+        "panic" | "unreachable" | "todo" | "unimplemented" => {
+            nodes.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        }
+        _ => false,
+    }
+}
+
+/// Extracts the op-graph of a node list (a function body or one arm).
+#[must_use]
+pub fn extract_seq(nodes: &[Node]) -> Seq {
+    let mut seq = Seq::default();
+    let mut i = 0usize;
+    while i < nodes.len() {
+        let n = &nodes[i];
+        // Nested `fn` items get their own schedule; skip them here.
+        if n.is_ident("fn") {
+            if let Some((_, next)) = parse_fn_at(nodes, i) {
+                i = next;
+                continue;
+            }
+        }
+        if is_exit_ident(nodes, i) {
+            seq.exits = true;
+            i += 1;
+            continue;
+        }
+        if n.is_ident("if") || n.is_ident("match") {
+            let is_match = n.is_ident("match");
+            let line = n.line();
+            let Some(body_off) = nodes[i..].iter().position(|n| n.group_with('{').is_some()) else {
+                i += 1;
+                continue;
+            };
+            // Ops in the header (condition / scrutinee) run on every
+            // path that reaches the branch.
+            let header_seq = extract_seq(&nodes[i + 1..i + body_off]);
+            seq.nodes.extend(header_seq.nodes);
+            let body = nodes[i + body_off].group_with('{').expect("positioned");
+            if is_match {
+                seq.nodes.push(OpNode::Branch {
+                    line,
+                    arms: match_arms(&body.children),
+                    has_else: true,
+                });
+                i += body_off + 1;
+                continue;
+            }
+            let mut arms = vec![extract_seq(&body.children)];
+            let mut has_else = false;
+            let mut j = i + body_off + 1;
+            while nodes.get(j).is_some_and(|n| n.is_ident("else")) {
+                if nodes.get(j + 1).is_some_and(|n| n.is_ident("if")) {
+                    // else-if: its header ops belong to this arm.
+                    let Some(off) = nodes[j + 1..]
+                        .iter()
+                        .position(|n| n.group_with('{').is_some())
+                    else {
+                        break;
+                    };
+                    let mut arm = extract_seq(&nodes[j + 2..j + 1 + off]);
+                    let g = nodes[j + 1 + off].group_with('{').expect("positioned");
+                    let body_seq = extract_seq(&g.children);
+                    arm.nodes.extend(body_seq.nodes);
+                    arm.exits = body_seq.exits;
+                    arms.push(arm);
+                    j += off + 2;
+                } else if let Some(g) = nodes.get(j + 1).and_then(|n| n.group_with('{')) {
+                    arms.push(extract_seq(&g.children));
+                    has_else = true;
+                    j += 2;
+                    break;
+                } else {
+                    break;
+                }
+            }
+            seq.nodes.push(OpNode::Branch {
+                line,
+                arms,
+                has_else,
+            });
+            i = j;
+            continue;
+        }
+        if n.is_ident("for") || n.is_ident("while") || n.is_ident("loop") {
+            let line = n.line();
+            let Some(body_off) = nodes[i..].iter().position(|n| n.group_with('{').is_some()) else {
+                i += 1;
+                continue;
+            };
+            // `while` conditions run per iteration; fold header ops
+            // into the loop body.
+            let mut body = extract_seq(&nodes[i + 1..i + body_off]);
+            let g = nodes[i + body_off].group_with('{').expect("positioned");
+            let inner = extract_seq(&g.children);
+            body.nodes.extend(inner.nodes);
+            // `break`/`continue` inside the body terminate iterations,
+            // not the function.
+            body.exits = false;
+            if !body.nodes.is_empty() {
+                seq.nodes.push(OpNode::Loop { line, body });
+            }
+            i += body_off + 1;
+            continue;
+        }
+        // `.op(args)`: argument ops evaluate first, then the call.
+        if n.is_punct('.') {
+            if let (Some(op), Some(args)) = (
+                nodes.get(i + 1).and_then(Node::ident),
+                nodes.get(i + 2).and_then(|n| n.group_with('(')),
+            ) {
+                if COLLECTIVE_OPS.contains(&op) {
+                    let arg_seq = extract_seq(&args.children);
+                    seq.nodes.extend(arg_seq.nodes);
+                    seq.nodes.push(OpNode::Op {
+                        op: op.to_string(),
+                        line: nodes[i + 1].line(),
+                    });
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        // Any other group (call args, indexing, let-else blocks, plain
+        // blocks): splice its ops into the current path. Exits inside
+        // a spliced sub-block (e.g. the `return` of a `let … else`)
+        // leave the main path's ops intact.
+        if let Node::Group(g) = n {
+            let inner = extract_seq(&g.children);
+            seq.nodes.extend(inner.nodes);
+        }
+        i += 1;
+    }
+    seq
+}
+
+/// Splits a `match` body into per-arm sequences: `pat => expr,` /
+/// `pat => { block }`.
+fn match_arms(nodes: &[Node]) -> Vec<Seq> {
+    let mut arms = Vec::new();
+    let mut i = 0usize;
+    while i < nodes.len() {
+        // Find the next `=>`.
+        let Some(arrow) = nodes[i..]
+            .windows(2)
+            .position(|w| w[0].is_punct('=') && w[1].is_punct('>'))
+        else {
+            break;
+        };
+        let start = i + arrow + 2;
+        let end = if let Some(g) = nodes.get(start).and_then(|n| n.group_with('{')) {
+            arms.push(extract_seq(&g.children));
+            start + 1
+        } else {
+            // Expression arm: runs to the next top-level `,`.
+            let stop = nodes[start..]
+                .iter()
+                .position(|n| n.is_punct(','))
+                .map_or(nodes.len(), |p| start + p);
+            arms.push(extract_seq(&nodes[start..stop]));
+            stop
+        };
+        i = end + 1;
+    }
+    arms
+}
+
+/// Flattens a sequence to its canonical op-name list. Branches
+/// contribute their first non-exiting arm (arms are cross-checked for
+/// symmetry separately); loops contribute one iteration.
+#[must_use]
+pub fn flatten(seq: &Seq) -> Vec<String> {
+    let mut out = Vec::new();
+    for node in &seq.nodes {
+        match node {
+            OpNode::Op { op, .. } => out.push(op.clone()),
+            OpNode::Branch { arms, .. } => {
+                if let Some(arm) = arms.iter().find(|a| !a.exits) {
+                    out.extend(flatten(arm));
+                }
+            }
+            OpNode::Loop { body, .. } => out.extend(flatten(body)),
+        }
+    }
+    out
+}
+
+/// Number of op call sites in a sequence, branches and loops included.
+#[must_use]
+pub fn count_sites(seq: &Seq) -> usize {
+    seq.nodes
+        .iter()
+        .map(|n| match n {
+            OpNode::Op { .. } => 1,
+            OpNode::Branch { arms, .. } => arms.iter().map(count_sites).sum(),
+            OpNode::Loop { body, .. } => count_sites(body),
+        })
+        .sum()
+}
+
+/// Collects symmetry divergences in one function's graph: any branch
+/// with an unconditional alternative whose non-exiting arms flatten to
+/// different op sequences.
+pub fn find_divergences(file: &str, function: &str, seq: &Seq, out: &mut Vec<Divergence>) {
+    for node in &seq.nodes {
+        match node {
+            OpNode::Op { .. } => {}
+            OpNode::Branch {
+                line,
+                arms,
+                has_else,
+            } => {
+                if *has_else {
+                    let alive: Vec<Vec<String>> =
+                        arms.iter().filter(|a| !a.exits).map(flatten).collect();
+                    if alive.windows(2).any(|w| w[0] != w[1]) {
+                        out.push(Divergence {
+                            file: file.to_string(),
+                            function: function.to_string(),
+                            line: *line,
+                            arms: alive,
+                        });
+                    }
+                }
+                for arm in arms {
+                    find_divergences(file, function, arm, out);
+                }
+            }
+            OpNode::Loop { body, .. } => find_divergences(file, function, body, out),
+        }
+    }
+}
+
+fn seq_to_json(seq: &Seq) -> Json {
+    Json::Arr(seq.nodes.iter().map(node_to_json).collect())
+}
+
+fn node_to_json(node: &OpNode) -> Json {
+    match node {
+        OpNode::Op { op, line } => Json::obj([
+            ("op", Json::from(op.as_str())),
+            ("line", Json::from(f64::from(*line))),
+        ]),
+        OpNode::Branch {
+            line,
+            arms,
+            has_else,
+        } => Json::obj([
+            ("branch_line", Json::from(f64::from(*line))),
+            ("has_else", Json::from(*has_else)),
+            ("arms", Json::Arr(arms.iter().map(seq_to_json).collect())),
+            (
+                "arm_exits",
+                Json::Arr(arms.iter().map(|a| Json::from(a.exits)).collect()),
+            ),
+        ]),
+        OpNode::Loop { line, body } => Json::obj([
+            ("loop_line", Json::from(f64::from(*line))),
+            ("body", seq_to_json(body)),
+        ]),
+    }
+}
+
+/// Extracts the schedules of every non-test function in one file that
+/// issues at least one collective.
+#[must_use]
+pub fn file_schedules(src: &str) -> Vec<FnSchedule> {
+    let toks = tokenize(src);
+    let tests = test_regions(&toks);
+    let tree = build(&toks);
+    functions(&tree)
+        .into_iter()
+        .filter(|f| !tests.contains(f.line))
+        .map(|f| FnSchedule {
+            name: f.name.clone(),
+            line: f.line,
+            graph: extract_seq(&f.body.children),
+        })
+        .filter(|s| count_sites(&s.graph) > 0)
+        .collect()
+}
+
+/// The crates whose sources form the collective schedule.
+const SCHEDULE_SCOPE: [&str; 3] = [
+    "crates/collectives/src/",
+    "crates/fsmoe/src/",
+    "crates/models/src/",
+];
+
+/// Builds the full schedule report over the workspace at `root`:
+/// per-file, per-function op-graphs plus the named divergences.
+#[must_use]
+pub fn schedule_report(root: &Path) -> Json {
+    let mut files = std::collections::BTreeMap::new();
+    let mut divergences = Vec::new();
+    let mut total_sites = 0usize;
+    for rel_path in crate::workspace_files(root) {
+        let rel = rel_path.to_string_lossy().replace('\\', "/");
+        if !SCHEDULE_SCOPE.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(root.join(&rel_path)) else {
+            continue;
+        };
+        let schedules = file_schedules(&src);
+        if schedules.is_empty() {
+            continue;
+        }
+        let mut fns = std::collections::BTreeMap::new();
+        for s in &schedules {
+            total_sites += count_sites(&s.graph);
+            find_divergences(&rel, &s.name, &s.graph, &mut divergences);
+            fns.insert(
+                format!("{}@{}", s.name, s.line),
+                Json::obj([
+                    ("line", Json::from(f64::from(s.line))),
+                    ("graph", seq_to_json(&s.graph)),
+                    (
+                        "sequence",
+                        Json::Arr(flatten(&s.graph).into_iter().map(Json::from).collect()),
+                    ),
+                ]),
+            );
+        }
+        files.insert(rel, Json::Obj(fns));
+    }
+    divergences.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Json::obj([
+        ("version", Json::from(1.0)),
+        ("total_sites", Json::from(total_sites)),
+        ("files", Json::Obj(files)),
+        (
+            "divergences",
+            Json::Arr(
+                divergences
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("file", Json::from(d.file.as_str())),
+                            ("function", Json::from(d.function.as_str())),
+                            ("line", Json::from(f64::from(d.line))),
+                            (
+                                "arms",
+                                Json::Arr(
+                                    d.arms
+                                        .iter()
+                                        .map(|a| {
+                                            Json::Arr(
+                                                a.iter().map(|s| Json::from(s.as_str())).collect(),
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> Vec<FnSchedule> {
+        file_schedules(src)
+    }
+
+    #[test]
+    fn straight_line_ops_in_order() {
+        let s = graph("fn f(&self) { self.g.all_reduce(&mut v); self.g.barrier(); }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(flatten(&s[0].graph), ["all_reduce", "barrier"]);
+        assert_eq!(count_sites(&s[0].graph), 2);
+    }
+
+    #[test]
+    fn symmetric_branch_is_not_divergent() {
+        let src = "fn f(&self, x: bool) {\n\
+                   if x { self.g.all_reduce(&mut a); } else { self.g.all_reduce(&mut b); }\n\
+                   }";
+        let s = graph(src);
+        let mut d = Vec::new();
+        find_divergences("t.rs", &s[0].name, &s[0].graph, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn asymmetric_else_is_named() {
+        let src = "fn f(&self, x: bool) {\n\
+                   if x { self.g.all_reduce(&mut a); } else { self.g.barrier(); }\n\
+                   }";
+        let s = graph(src);
+        let mut d = Vec::new();
+        find_divergences("t.rs", &s[0].name, &s[0].graph, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].arms, [vec!["all_reduce"], vec!["barrier"]]);
+    }
+
+    #[test]
+    fn exiting_arm_is_excluded_from_symmetry() {
+        let src = "fn f(&self, x: bool) -> Result<(), E> {\n\
+                   if x { return Ok(()); } else { self.g.barrier(); }\n\
+                   self.g.all_reduce(&mut v);\n\
+                   Ok(())\n\
+                   }";
+        let s = graph(src);
+        let mut d = Vec::new();
+        find_divergences("t.rs", &s[0].name, &s[0].graph, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(flatten(&s[0].graph), ["barrier", "all_reduce"]);
+    }
+
+    #[test]
+    fn guard_without_else_is_not_compared() {
+        let src = "fn f(&self, warm: bool) {\n\
+                   if warm { self.g.barrier(); }\n\
+                   }";
+        let s = graph(src);
+        let mut d = Vec::new();
+        find_divergences("t.rs", &s[0].name, &s[0].graph, &mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn match_arms_are_compared() {
+        let src = "fn f(&self, k: K) {\n\
+                   match k {\n\
+                   K::A => self.g.all_reduce(&mut v),\n\
+                   K::B => { self.g.all_to_all(&mut v); }\n\
+                   }\n\
+                   }";
+        let s = graph(src);
+        let mut d = Vec::new();
+        find_divergences("t.rs", &s[0].name, &s[0].graph, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].arms, [vec!["all_reduce"], vec!["all_to_all"]]);
+    }
+
+    #[test]
+    fn loops_and_let_else_splice_cleanly() {
+        let src = "fn f(&self) -> Result<(), E> {\n\
+                   let Some(g) = self.group() else { return Ok(()); };\n\
+                   for _ in 0..3 { g.all_gather(&v); }\n\
+                   g.reduce_scatter(&mut v)?;\n\
+                   Ok(())\n\
+                   }";
+        let s = graph(src);
+        assert_eq!(flatten(&s[0].graph), ["all_gather", "reduce_scatter"]);
+        // The let-else `return` must not mark the main path as exiting.
+        assert!(!s[0].graph.exits);
+    }
+
+    #[test]
+    fn test_functions_are_excluded() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(&self) { g.barrier(); }\n}\n";
+        assert!(graph(src).is_empty());
+    }
+}

@@ -166,6 +166,158 @@ fn test_regions_exempt_cfg_test_modules() {
     assert_eq!(keyed(&violations), [("no-unwrap", 1)]);
 }
 
+#[test]
+fn unordered_iteration_fixture_fires_and_respects_allows() {
+    // Linted as one of the SPMD verdict modules.
+    let violations = check_file(
+        "crates/models/src/health.rs",
+        &fixture("spmd_unordered_iter.rs"),
+    );
+    assert_eq!(
+        keyed(&violations),
+        [
+            ("spmd-unordered-iteration", 6),  // scores.iter()
+            ("spmd-unordered-iteration", 10), // for r in dead
+        ],
+        "{violations:#?}"
+    );
+    // The same file outside SPMD-decision scope is clean.
+    assert!(check_file(
+        "crates/tensor/src/lib.rs",
+        &fixture("spmd_unordered_iter.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn float_accum_fixture_fires_and_sorted_is_clean() {
+    let violations = check_file("crates/models/src/health.rs", &fixture("float_accum.rs"));
+    assert_eq!(
+        keyed(&violations),
+        [("float-accum-order", 6)],
+        "{violations:#?}"
+    );
+}
+
+#[test]
+fn rank_divergent_fixture_fires_on_both_arms_and_match() {
+    let violations = check_file("crates/fsmoe/src/layer.rs", &fixture("rank_divergent.rs"));
+    assert_eq!(
+        keyed(&violations),
+        [
+            ("spmd-rank-divergent-collective", 6), // if rank == 0 { barrier }
+            ("spmd-rank-divergent-collective", 15), // else arm all_reduce
+            ("spmd-rank-divergent-collective", 21), // match self.rank arm
+        ],
+        "{violations:#?}"
+    );
+    // Outside the comm-issuing crates the rule does not run.
+    assert!(check_file("crates/tensor/src/lib.rs", &fixture("rank_divergent.rs")).is_empty());
+}
+
+#[test]
+fn wallclock_fixture_fires_on_branch_payload_and_call_hop() {
+    let violations = check_file("crates/models/src/elastic.rs", &fixture("wallclock.rs"));
+    assert_eq!(
+        keyed(&violations),
+        [
+            ("spmd-wallclock-decision", 8),  // branch on elapsed µs
+            ("spmd-wallclock-decision", 17), // tainted all_reduce payload
+            ("spmd-wallclock-decision", 22), // call hop into score()'s sink param
+        ],
+        "{violations:#?}"
+    );
+    // The deadline controller is the sanctioned wall-clock user: the
+    // same source under its FileClass stays clean.
+    assert!(check_file(
+        "crates/collectives/src/deadline.rs",
+        &fixture("wallclock.rs")
+    )
+    .is_empty());
+}
+
+/// Every collective call site in the comm-issuing crates appears in
+/// the schedule report: the extractor's site count must equal a direct
+/// token-level count of `.op(` patterns outside test regions.
+#[test]
+fn schedule_report_covers_every_collective_call_site() {
+    use analyzer::schedule::{count_sites, file_schedules, COLLECTIVE_OPS};
+
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut extracted = 0usize;
+    let mut direct = 0usize;
+    for rel_path in analyzer::workspace_files(&root) {
+        let rel = rel_path.to_string_lossy().replace('\\', "/");
+        if ![
+            "crates/collectives/src/",
+            "crates/fsmoe/src/",
+            "crates/models/src/",
+        ]
+        .iter()
+        .any(|p| rel.starts_with(p))
+        {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel_path)).unwrap();
+        extracted += file_schedules(&src)
+            .iter()
+            .map(|s| count_sites(&s.graph))
+            .sum::<usize>();
+        let toks = tokenize(&src);
+        let tests = analyzer::rules::test_regions(&toks);
+        for w in toks.windows(3) {
+            if w[0].is_punct('.')
+                && w[1].ident().is_some_and(|id| COLLECTIVE_OPS.contains(&id))
+                && w[2].is_punct('(')
+                && !tests.contains(w[1].line)
+            {
+                direct += 1;
+            }
+        }
+    }
+    assert!(direct > 0, "no collective call sites found at all");
+    assert_eq!(extracted, direct, "extractor missed call sites");
+}
+
+/// The report is valid JSON, names the known schedule-bearing
+/// functions, and the real tree has no schedule divergences.
+#[test]
+fn schedule_report_is_valid_and_divergence_free() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyzer::schedule::schedule_report(&root);
+    let text = report.to_pretty_string().unwrap();
+    let parsed = jsonio::Json::parse(&text).unwrap();
+    assert!(parsed.get("total_sites").unwrap().as_usize().unwrap() >= 18);
+    let files = parsed.get("files").unwrap();
+    let dist = files.get("crates/fsmoe/src/dist.rs").unwrap();
+    let jsonio::Json::Obj(fns) = dist else {
+        panic!("files entries are objects");
+    };
+    let migrate = fns
+        .iter()
+        .find(|(k, _)| k.starts_with("migrate@"))
+        .map(|(_, v)| v)
+        .expect("migrate is in the schedule");
+    let seq: Vec<&str> = migrate
+        .get("sequence")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| s.as_str().unwrap())
+        .collect();
+    assert_eq!(seq, ["migration_fence", "broadcast"]);
+    assert!(
+        parsed
+            .get("divergences")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty(),
+        "real tree must be schedule-symmetric"
+    );
+}
+
 /// The acceptance criterion: the analyzer exits clean on the real tree.
 #[test]
 fn real_workspace_is_clean() {

@@ -1,0 +1,20 @@
+//! Fixture: float-accum-order positive, allowed, and re-ordered
+//! negative cases.
+use std::collections::HashMap;
+
+fn mean_loss(losses: &HashMap<usize, f64>) -> f64 {
+    let total: f64 = losses.values().sum();
+    total / losses.len() as f64
+}
+
+fn counted(losses: &HashMap<usize, f64>) -> f64 {
+    // lint: allow(float-accum) — integer counts commute exactly
+    let hits: u64 = losses.values().map(|v| u64::from(*v > 0.0)).sum();
+    hits as f64
+}
+
+fn sorted_first(losses: &HashMap<usize, f64>) -> f64 {
+    let mut v: Vec<f64> = losses.values().copied().collect();
+    v.sort_by(f64::total_cmp);
+    v.iter().sum()
+}

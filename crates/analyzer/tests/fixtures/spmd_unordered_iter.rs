@@ -1,0 +1,26 @@
+//! Fixture: spmd-unordered-iteration positive, allowed, and
+//! order-insensitive-negative cases.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn verdict(scores: &HashMap<usize, f64>, dead: &HashSet<usize>) -> usize {
+    for (rank, s) in scores.iter() {
+        observe(*rank, *s);
+    }
+    let mut worst = 0;
+    for r in dead {
+        worst = worst.max(*r);
+    }
+    // lint: allow(unordered-iter) — max is commutative, order cannot matter
+    for r in dead {
+        worst = worst.max(*r);
+    }
+    worst
+}
+
+fn order_insensitive(scores: &HashMap<usize, f64>) -> usize {
+    let n = scores.keys().count();
+    let sorted: BTreeMap<usize, u64> = scores.iter().map(|(k, v)| (*k, *v as u64)).collect();
+    let mut ranks: Vec<usize> = scores.keys().copied().collect();
+    ranks.sort_unstable();
+    n + sorted.len() + ranks.len()
+}

@@ -1,0 +1,42 @@
+//! Fixture: spmd-wallclock-decision positive, allowed, and
+//! metrics-only negative cases.
+use std::time::Instant;
+
+fn local_decide(&mut self) {
+    let t0 = Instant::now();
+    let us = t0.elapsed().as_micros() as u64;
+    if us > 1000 {
+        self.evict();
+    }
+}
+
+fn payload(&mut self) {
+    let t0 = Instant::now();
+    let mut v = vec![0.0f32; 4];
+    v[0] = t0.elapsed().as_secs_f32();
+    self.group.all_reduce(&mut v);
+}
+
+fn cross_fn(&mut self) {
+    let t0 = Instant::now();
+    self.score(t0.elapsed().as_secs_f64());
+}
+
+fn score(&mut self, s: f64) {
+    if s > 0.5 {
+        self.flag();
+    }
+}
+
+fn allowed(&mut self) {
+    let us = Instant::now().elapsed().as_micros() as u64;
+    // lint: allow(wallclock-decision) — gates a metric emission, never a verdict
+    if us > 1000 {
+        self.note();
+    }
+}
+
+fn metrics_only(&self) {
+    let t0 = Instant::now();
+    record(t0.elapsed().as_secs_f64());
+}

@@ -5,7 +5,11 @@ use scheduler::{find_optimal_pipeline_degree, MoePerfModel};
 use crate::lower::simulate_layer;
 
 /// The six schedules compared in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order so `BTreeMap<ScheduleKind, _>`
+/// aggregations iterate deterministically (DESIGN.md §13's
+/// `spmd-unordered-iteration` policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ScheduleKind {
     /// DeepSpeed-MoE: fully sequential MoE layer (Fig. 3a's default).
     DsMoe,

@@ -22,7 +22,7 @@
 //! (the analyzer's `deadline-literals` rule exempts it): every other
 //! op budget must flow through [`DeadlineController::budget`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
@@ -92,7 +92,9 @@ impl OpStats {
 #[derive(Debug, Default)]
 pub struct DeadlineController {
     config: DeadlineConfig,
-    ops: Mutex<HashMap<String, OpStats>>,
+    /// Per-op stats; a `BTreeMap` so any future enumeration (dumps,
+    /// debugging) is deterministic (DESIGN.md §13).
+    ops: Mutex<BTreeMap<String, OpStats>>,
 }
 
 impl DeadlineController {
@@ -100,7 +102,7 @@ impl DeadlineController {
     pub fn new(config: DeadlineConfig) -> Self {
         DeadlineController {
             config,
-            ops: Mutex::new(HashMap::new()),
+            ops: Mutex::new(BTreeMap::new()),
         }
     }
 

@@ -28,7 +28,7 @@
 //! ([`FaultInjector::single_fault_from_seed`]), so chaos tests
 //! reproduce exactly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -107,14 +107,18 @@ impl Brownout {
 }
 
 /// A deterministic, seedable schedule of fault events.
+///
+/// Stored in `BTreeMap`s: the injector feeds chaos tests that must
+/// replay identically from a seed, so even enumeration order is kept
+/// deterministic (DESIGN.md §13).
 #[derive(Debug, Default)]
 pub struct FaultInjector {
-    schedule: HashMap<(usize, usize), FaultAction>,
+    schedule: BTreeMap<(usize, usize), FaultAction>,
     /// Persistent per-rank slowdowns, keyed by rank, with their jitter
     /// seeds.
-    brownouts: HashMap<usize, (Brownout, u64)>,
+    brownouts: BTreeMap<usize, (Brownout, u64)>,
     /// Per-rank count of collectives entered so far.
-    counters: Mutex<HashMap<usize, usize>>,
+    counters: Mutex<BTreeMap<usize, usize>>,
 }
 
 impl FaultInjector {
@@ -158,15 +162,13 @@ impl FaultInjector {
         self
     }
 
-    /// The configured brownouts as `(rank, spec, seed)`, sorted by rank.
+    /// The configured brownouts as `(rank, spec, seed)`, sorted by rank
+    /// (the map iterates in key order).
     pub fn brownouts(&self) -> Vec<(usize, Brownout, u64)> {
-        let mut out: Vec<_> = self
-            .brownouts
+        self.brownouts
             .iter()
             .map(|(&rank, &(spec, seed))| (rank, spec, seed))
-            .collect();
-        out.sort_by_key(|&(rank, _, _)| rank);
-        out
+            .collect()
     }
 
     /// A deterministic random *single-fault* schedule: one rank, one op

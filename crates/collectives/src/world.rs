@@ -2,7 +2,7 @@
 //! including the membership-epoch control plane that lets survivors
 //! evict a permanently dead rank and continue on a shrunken world.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -162,9 +162,11 @@ impl WorldCtrl {
 
 /// Shared registry mapping a rank set to its group state, so every rank
 /// that requests the same sub-group binds to the same rendezvous object.
+/// A `BTreeMap` so [`GroupRegistry::wake_all_groups`] wakes groups in a
+/// deterministic order (DESIGN.md §13).
 #[derive(Debug)]
 struct GroupRegistry {
-    groups: Mutex<HashMap<Vec<usize>, Arc<GroupInner>>>,
+    groups: Mutex<BTreeMap<Vec<usize>, Arc<GroupInner>>>,
     ctrl: Arc<WorldCtrl>,
 }
 
@@ -259,7 +261,7 @@ impl CommWorld {
     pub fn into_communicators(self) -> Vec<Communicator> {
         let ctrl = Arc::new(WorldCtrl::new(self.size, self.injector, 0, self.adaptive));
         let registry = Arc::new(GroupRegistry {
-            groups: Mutex::new(HashMap::new()),
+            groups: Mutex::new(BTreeMap::new()),
             ctrl,
         });
         (0..self.size)
@@ -430,7 +432,7 @@ impl Communicator {
                     ctrl.adaptive.clone(),
                 ));
                 let registry = Arc::new(GroupRegistry {
-                    groups: Mutex::new(HashMap::new()),
+                    groups: Mutex::new(BTreeMap::new()),
                     ctrl: new_ctrl,
                 });
                 vote.next = Some(NextWorld {

@@ -100,6 +100,20 @@ impl Json {
         Ok(out)
     }
 
+    /// Serialises to indented JSON (two spaces, sorted keys, trailing
+    /// newline) — the format for checked-in goldens, where a reviewable
+    /// `diff -u` matters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::NonFinite`] when a number is NaN/±∞.
+    pub fn to_pretty_string(&self) -> Result<String> {
+        let mut out = String::new();
+        write_pretty(self, &mut out, 0)?;
+        out.push('\n');
+        Ok(out)
+    }
+
     /// Builds an object from key/value pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -256,6 +270,42 @@ fn write_value(value: &Json, out: &mut String) -> Result<()> {
             }
             out.push('}');
         }
+    }
+    Ok(())
+}
+
+fn write_pretty(value: &Json, out: &mut String, indent: usize) -> Result<()> {
+    match value {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_pretty(item, out, indent + 1)?;
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, indent + 1)?;
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        // scalars and empty containers: compact form
+        other => write_value(other, out)?,
     }
     Ok(())
 }

@@ -657,6 +657,11 @@ impl ElasticTrainer {
                         .blocked_wait_us(self.comm.rank())
                         .saturating_sub(wait_before);
                     let self_us = wall_us.saturating_sub(waited) as f64;
+                    // lint: allow(wallclock-decision) — the per-rank
+                    // self time is all-reduced inside maybe_check_health
+                    // before any verdict, so every rank scores the same
+                    // fleet-wide vector; the wall-clock reading itself
+                    // never steers a branch locally.
                     match self.maybe_check_health(self_us)? {
                         HealthOutcome::Continue => return Ok(loss),
                         // The live eviction rolled the clock back to

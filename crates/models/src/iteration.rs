@@ -252,7 +252,7 @@ mod tests {
     fn schedule_ordering_holds_on_gpt2_testbed_b() {
         let tb = Testbed::b();
         let preset = ModelPreset::gpt2_xl_moe().with_seq_len(256).with_layers(6);
-        let t: std::collections::HashMap<ScheduleKind, f64> =
+        let t: std::collections::BTreeMap<ScheduleKind, f64> =
             times(&tb, &preset).into_iter().collect();
         let ds = t[&ScheduleKind::DsMoe];
         let tutel = t[&ScheduleKind::Tutel];
@@ -301,7 +301,7 @@ mod tests {
     fn lina_lands_between_tutel_and_fsmoe_usually() {
         let tb = Testbed::b();
         let preset = ModelPreset::gpt2_xl_moe().with_seq_len(256).with_layers(6);
-        let t: std::collections::HashMap<ScheduleKind, f64> =
+        let t: std::collections::BTreeMap<ScheduleKind, f64> =
             times(&tb, &preset).into_iter().collect();
         // Lina must at least beat leaving all gradients to the end
         assert!(t[&ScheduleKind::PipeMoeLina] <= t[&ScheduleKind::Tutel] * 1.001);
